@@ -1,0 +1,191 @@
+// Package cdcs is the public API of the constraint-driven communication
+// synthesis library — a Go implementation of Pinto, Carloni and
+// Sangiovanni-Vincentelli's DAC 2002 algorithm.
+//
+// The workflow has three steps:
+//
+//  1. describe the communication requirements as a constraint graph —
+//     ports with positions, unidirectional channels with bandwidths;
+//  2. describe the communication library — link types (bandwidth, span,
+//     cost) and node types (repeaters, multiplexers, de-multiplexers);
+//  3. call Synthesize to obtain the provably minimum-cost
+//     implementation graph plus a report of the algorithm's decisions.
+//
+// A minimal program:
+//
+//	cg := cdcs.NewConstraintGraph(cdcs.Euclidean)
+//	src := cg.MustAddPort(cdcs.Port{Name: "cpu.out", Position: cdcs.Pt(0, 0)})
+//	dst := cg.MustAddPort(cdcs.Port{Name: "mem.in", Position: cdcs.Pt(80, 5)})
+//	cg.MustAddChannel(cdcs.Channel{Name: "bus", From: src, To: dst, Bandwidth: 8})
+//
+//	lib := &cdcs.Library{
+//		Links: []cdcs.Link{
+//			{Name: "radio", Bandwidth: 10, MaxSpan: math.Inf(1), CostPerLength: 2},
+//			{Name: "fiber", Bandwidth: 1000, MaxSpan: math.Inf(1), CostPerLength: 4},
+//		},
+//		Nodes: []cdcs.Node{
+//			{Name: "mux", Kind: cdcs.Mux}, {Name: "demux", Kind: cdcs.Demux},
+//		},
+//	}
+//
+//	ig, report, err := cdcs.Synthesize(cg, lib, cdcs.Options{})
+//
+// The sub-systems (candidate enumeration, placement, covering solver,
+// flow simulation, …) live in internal packages; this facade re-exports
+// the types and entry points a downstream application needs. The
+// examples/ directory demonstrates every feature end to end.
+package cdcs
+
+import (
+	"repro/internal/flowsim"
+	"repro/internal/geom"
+	"repro/internal/impl"
+	"repro/internal/library"
+	"repro/internal/merging"
+	"repro/internal/model"
+	"repro/internal/synth"
+	"repro/internal/viz"
+)
+
+// Geometry.
+type (
+	// Point is a position in the plane.
+	Point = geom.Point
+	// Norm measures distances (Euclidean, Manhattan, Chebyshev).
+	Norm = geom.Norm
+)
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Built-in norms.
+var (
+	Euclidean = geom.Euclidean
+	Manhattan = geom.Manhattan
+	Chebyshev = geom.Chebyshev
+)
+
+// Constraint-graph model (the paper's Definition 2.1).
+type (
+	// ConstraintGraph is the communication requirement: ports + channels.
+	ConstraintGraph = model.ConstraintGraph
+	// Port is a positioned module port.
+	Port = model.Port
+	// Channel is a point-to-point unidirectional requirement.
+	Channel = model.Channel
+	// PortID and ChannelID identify ports and channels.
+	PortID    = model.PortID
+	ChannelID = model.ChannelID
+)
+
+// NewConstraintGraph returns an empty constraint graph under the given
+// norm (nil defaults to Euclidean).
+func NewConstraintGraph(norm Norm) *ConstraintGraph {
+	return model.NewConstraintGraph(norm)
+}
+
+// DecodeConstraintGraph parses the JSON form produced by
+// ConstraintGraph.MarshalJSON.
+func DecodeConstraintGraph(data []byte) (*ConstraintGraph, error) {
+	return model.DecodeConstraintGraph(data)
+}
+
+// Communication library (the paper's Definition 2.2).
+type (
+	// Library is the set of available links and nodes.
+	Library = library.Library
+	// Link is a communication link type.
+	Link = library.Link
+	// Node is a communication node type.
+	Node = library.Node
+	// NodeKind distinguishes repeaters, muxes and demuxes.
+	NodeKind = library.NodeKind
+)
+
+// Node kinds.
+const (
+	Repeater = library.Repeater
+	Mux      = library.Mux
+	Demux    = library.Demux
+)
+
+// DecodeLibrary parses the JSON form produced by Library.MarshalJSON.
+func DecodeLibrary(data []byte) (*Library, error) { return library.Decode(data) }
+
+// Results.
+type (
+	// ImplementationGraph is the synthesized architecture
+	// (Definitions 2.3–2.5).
+	ImplementationGraph = impl.Graph
+	// Report summarizes a synthesis run: costs, selected candidates,
+	// enumeration statistics and solver counters.
+	Report = synth.Report
+	// Candidate is one local solution considered by the covering step.
+	Candidate = synth.Candidate
+)
+
+// Options configures Synthesize. The zero value runs the full exact
+// flow with the paper-faithful defaults (max-index reference policy,
+// sum-rule trunk capacity, exact covering solver).
+type Options struct {
+	// Greedy switches the covering step to the greedy heuristic
+	// (faster, possibly sub-optimal).
+	Greedy bool
+	// StrictPruning uses the strongest sound Lemma 3.2 prune (every
+	// reference arc tested) instead of the paper-matching incremental
+	// policy; fewer candidates are priced, the optimum is unchanged.
+	StrictPruning bool
+	// KeepDominated keeps merging candidates that cannot beat their
+	// channels' point-to-point implementations (grows the covering
+	// instance; the optimum is unchanged).
+	KeepDominated bool
+	// MaxMergeArity caps the merging arity k (0 = unlimited). Large
+	// dense instances enumerate C(|A|, k) sets per level; capping
+	// trades completeness of the candidate set for runtime.
+	MaxMergeArity int
+}
+
+// Synthesize runs the full constraint-driven synthesis flow and returns
+// the verified minimum-cost implementation graph and the run report.
+func Synthesize(cg *ConstraintGraph, lib *Library, opt Options) (*ImplementationGraph, *Report, error) {
+	o := synth.Options{
+		Merging: merging.Options{Policy: merging.MaxIndexRef, MaxK: opt.MaxMergeArity},
+	}
+	if opt.StrictPruning {
+		o.Merging.Policy = merging.AnyRef
+	}
+	if opt.Greedy {
+		o.Solver = synth.GreedySolver
+	}
+	o.KeepDominated = opt.KeepDominated
+	return synth.Synthesize(cg, lib, o)
+}
+
+// Verify checks an implementation graph against every Definition 2.4
+// constraint of its constraint graph (Synthesize already does this; the
+// function is exposed for architectures built or modified by hand).
+func Verify(ig *ImplementationGraph) error {
+	return ig.Verify(impl.VerifyOptions{})
+}
+
+// SimulationResult is a completed flow simulation.
+type SimulationResult = flowsim.Result
+
+// Simulate replays the architecture under concurrent traffic: every
+// channel injects its required bandwidth and the result reports the
+// sustained per-channel throughput and per-link utilization.
+func Simulate(ig *ImplementationGraph) (*SimulationResult, error) {
+	return flowsim.Simulate(ig, flowsim.Config{})
+}
+
+// RenderSVG draws the implementation graph to scale as a standalone SVG
+// document (dashed/solid strokes per link type, squares for
+// communication vertices).
+func RenderSVG(ig *ImplementationGraph) string {
+	return viz.Implementation(ig, viz.Options{ShowLabels: true})
+}
+
+// RenderConstraintSVG draws the constraint graph to scale.
+func RenderConstraintSVG(cg *ConstraintGraph) string {
+	return viz.ConstraintGraph(cg, viz.Options{ShowLabels: true})
+}

@@ -1,0 +1,152 @@
+package cdcs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildSystem constructs the quickstart-style system through the facade
+// only, proving the public API is self-sufficient.
+func buildSystem(t *testing.T) (*ConstraintGraph, *Library) {
+	t.Helper()
+	cg := NewConstraintGraph(Euclidean)
+	var ports []PortID
+	for i, pos := range []Point{Pt(0, 0), Pt(0, 0), Pt(80, 2), Pt(82, -2)} {
+		ports = append(ports, cg.MustAddPort(Port{
+			Name: "p" + string(rune('0'+i)), Position: pos,
+		}))
+	}
+	cg.MustAddChannel(Channel{Name: "c1", From: ports[0], To: ports[2], Bandwidth: 8})
+	cg.MustAddChannel(Channel{Name: "c2", From: ports[1], To: ports[3], Bandwidth: 8})
+	lib := &Library{
+		Links: []Link{
+			{Name: "radio", Bandwidth: 10, MaxSpan: math.Inf(1), CostPerLength: 2},
+			{Name: "fiber", Bandwidth: 1000, MaxSpan: math.Inf(1), CostPerLength: 3},
+		},
+		Nodes: []Node{
+			{Name: "mux", Kind: Mux}, {Name: "demux", Kind: Demux},
+		},
+	}
+	return cg, lib
+}
+
+func TestFacadeSynthesize(t *testing.T) {
+	cg, lib := buildSystem(t)
+	ig, rep, err := Synthesize(cg, lib, Options{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if err := Verify(ig); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if rep.Cost > rep.P2PCost {
+		t.Errorf("cost %v exceeds baseline %v", rep.Cost, rep.P2PCost)
+	}
+	// The two parallel channels should merge onto a fiber trunk
+	// (16 Mbps > 10 Mbps radio; fiber $3 trunk beats 2×$2 radios).
+	foundMerge := false
+	for _, c := range rep.SelectedCandidates() {
+		if c.Kind == "merge" {
+			foundMerge = true
+		}
+	}
+	if !foundMerge {
+		t.Error("expected the parallel channels to merge")
+	}
+}
+
+func TestFacadeOptionVariants(t *testing.T) {
+	cg, lib := buildSystem(t)
+	_, exact, err := Synthesize(cg, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []Options{
+		{Greedy: true},
+		{StrictPruning: true},
+		{KeepDominated: true},
+		{MaxMergeArity: 2},
+	} {
+		_, rep, err := Synthesize(cg, lib, opt)
+		if err != nil {
+			t.Fatalf("options %+v: %v", opt, err)
+		}
+		if !opt.Greedy && rep.Cost > exact.Cost+1e-9 {
+			t.Errorf("options %+v: cost %v worse than exact %v", opt, rep.Cost, exact.Cost)
+		}
+		if opt.Greedy && rep.Cost < exact.Cost-1e-9 {
+			t.Errorf("greedy beat the exact optimum: %v < %v", rep.Cost, exact.Cost)
+		}
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	cg, lib := buildSystem(t)
+	ig, _, err := Synthesize(cg, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(ig)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !res.AllSatisfied() {
+		t.Errorf("channels starved: %+v", res.Channels)
+	}
+}
+
+func TestFacadeRendering(t *testing.T) {
+	cg, lib := buildSystem(t)
+	ig, _, err := Synthesize(cg, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, svg := range map[string]string{
+		"implementation": RenderSVG(ig),
+		"constraint":     RenderConstraintSVG(cg),
+	} {
+		if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s SVG malformed", name)
+		}
+	}
+}
+
+func TestFacadeJSONRoundTrips(t *testing.T) {
+	cg, lib := buildSystem(t)
+	cgData, err := json.Marshal(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg2, err := DecodeConstraintGraph(cgData)
+	if err != nil {
+		t.Fatalf("DecodeConstraintGraph: %v", err)
+	}
+	if cg2.NumChannels() != cg.NumChannels() {
+		t.Error("constraint graph round trip lost channels")
+	}
+	libData, err := json.Marshal(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := DecodeLibrary(libData)
+	if err != nil {
+		t.Fatalf("DecodeLibrary: %v", err)
+	}
+	if len(lib2.Links) != len(lib.Links) {
+		t.Error("library round trip lost links")
+	}
+	// Decoded inputs must synthesize identically.
+	_, r1, err := Synthesize(cg, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, err := Synthesize(cg2, lib2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Cost-r2.Cost) > 1e-9 {
+		t.Errorf("round-tripped inputs changed the optimum: %v vs %v", r1.Cost, r2.Cost)
+	}
+}

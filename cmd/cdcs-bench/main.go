@@ -1,0 +1,93 @@
+// cdcs-bench regenerates every table and figure of the paper's
+// evaluation (plus this repository's extension studies) and prints
+// paper-vs-measured comparison tables. Output of a full run is archived
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	cdcs-bench                 # run all experiments (E1–E14)
+//	cdcs-bench -exp table1     # run one: table1 table2 fig3 candidates fig4 fig5
+//	                           #   flowsim lid bwsweep lan baseline steiner ablation scaling
+//	cdcs-bench -short          # skip the slow sweeps (ablation, scaling)
+//	cdcs-bench -md             # emit Markdown (EXPERIMENTS.md-style sections)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig3, candidates, fig4, fig5, flowsim, lid, bwsweep, lan, baseline, steiner, ablation, scaling")
+	short := flag.Bool("short", false, "skip the slow sweeps (ablation, scaling)")
+	md := flag.Bool("md", false, "emit Markdown instead of plain text")
+	flag.Parse()
+
+	runners := []struct {
+		name string
+		slow bool
+		run  func() experiments.Outcome
+	}{
+		{"table1", false, experiments.Table1},
+		{"table2", false, experiments.Table2},
+		{"fig3", false, experiments.Fig3},
+		{"candidates", false, experiments.Candidates},
+		{"fig4", false, experiments.Fig4},
+		{"fig5", false, experiments.Fig5},
+		{"flowsim", false, experiments.FlowValidation},
+		{"lid", false, experiments.LIDSweep},
+		{"bwsweep", false, experiments.BandwidthSweep},
+		{"lan", false, experiments.LANCaseStudy},
+		{"baseline", false, experiments.BaselineComparison},
+		{"steiner", false, experiments.SteinerGap},
+		{"ablation", true, experiments.Ablation},
+		{"scaling", true, func() experiments.Outcome { return experiments.Scaling(nil) }},
+	}
+
+	allPassed := true
+	matched := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		if *exp == "all" && *short && r.slow {
+			continue
+		}
+		matched = true
+		o := r.run()
+		if *md {
+			fmt.Print(report.MarkdownSection(o.ID, o.Title, o.Text, o.Records))
+		} else {
+			fmt.Printf("=== %s: %s ===\n\n", o.ID, o.Title)
+			if o.Text != "" {
+				fmt.Println(o.Text)
+			}
+			fmt.Println(report.FormatRecords(o.Records))
+		}
+		if o.Passed() {
+			if !*md {
+				fmt.Printf("%s: PASS\n\n", o.ID)
+			}
+		} else {
+			fmt.Printf("%s: FAIL\n\n", o.ID)
+			allPassed = false
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: ", *exp)
+		names := make([]string, len(runners))
+		for i, r := range runners {
+			names[i] = r.name
+		}
+		fmt.Fprintln(os.Stderr, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	if !allPassed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// cdcs-gen generates random benchmark instances (constraint graph +
+// matching communication library) as JSON files consumable by cdcs.
+//
+// Usage:
+//
+//	cdcs-gen -kind wan -channels 12 -clusters 3 -seed 7 -out wan12
+//	cdcs-gen -kind soc -channels 16 -modules 9 -seed 7 -out soc16
+//
+// writes <out>.graph.json and <out>.lib.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/soc"
+	"repro/internal/workloads"
+)
+
+func main() {
+	kind := flag.String("kind", "wan", "instance kind: wan or soc")
+	channels := flag.Int("channels", 10, "number of constraint arcs")
+	clusters := flag.Int("clusters", 3, "WAN cluster count")
+	modules := flag.Int("modules", 8, "SoC module count")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "instance", "output file prefix")
+	flag.Parse()
+
+	var cg *model.ConstraintGraph
+	var lib json.Marshaler
+	switch *kind {
+	case "wan":
+		cg = workloads.RandomWAN(workloads.RandomWANConfig{
+			Seed: *seed, Clusters: *clusters, Channels: *channels,
+		})
+		lib = workloads.WANLibrary()
+	case "soc":
+		cg = workloads.RandomSoC(workloads.RandomSoCConfig{
+			Seed: *seed, Modules: *modules, Channels: *channels,
+		})
+		lib = soc.Tech180nm().Library()
+	default:
+		fmt.Fprintf(os.Stderr, "cdcs-gen: unknown kind %q (wan, soc)\n", *kind)
+		os.Exit(2)
+	}
+
+	write := func(suffix string, v interface{}) {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs-gen:", err)
+			os.Exit(1)
+		}
+		path := *out + suffix
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs-gen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+	write(".graph.json", cg)
+	write(".lib.json", lib)
+}

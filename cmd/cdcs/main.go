@@ -1,0 +1,231 @@
+// cdcs is the command-line constraint-driven communication synthesizer:
+// it reads a constraint graph (JSON) and a communication library (JSON),
+// runs the full synthesis flow, and reports the optimum architecture.
+//
+// Usage:
+//
+//	cdcs -graph wan.json -lib wan-lib.json [-dot out.dot] [-solver exact|greedy]
+//	cdcs -example wan|mpeg4 [-dot out.dot] [-svg out.svg]   # built-in instance
+//
+// The graph JSON schema matches model.ConstraintGraph's MarshalJSON:
+//
+//	{"norm":"euclidean",
+//	 "ports":[{"name":"A.out","module":"A","x":0,"y":0}, ...],
+//	 "channels":[{"name":"a1","from":"A.out","to":"B.in","bandwidth":10}, ...]}
+//
+// The library JSON schema:
+//
+//	{"links":[{"name":"radio","bandwidth":11,"maxSpan":null,"costPerLength":2}, ...],
+//	 "nodes":[{"name":"mux","kind":"mux","cost":0}, ...]}
+//
+// A null or missing maxSpan means the link is length-parametric
+// (unbounded span).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/flowsim"
+	"repro/internal/impl"
+	"repro/internal/library"
+	"repro/internal/merging"
+	"repro/internal/model"
+	"repro/internal/p2p"
+	"repro/internal/report"
+	"repro/internal/synth"
+	"repro/internal/viz"
+	"repro/internal/workloads"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "constraint graph JSON file")
+	libPath := flag.String("lib", "", "communication library JSON file")
+	example := flag.String("example", "", "built-in instance: wan or mpeg4")
+	dotPath := flag.String("dot", "", "write the implementation graph in DOT format to this file")
+	svgPath := flag.String("svg", "", "write the implementation graph as an SVG drawing to this file")
+	jsonPath := flag.String("json", "", "write the implementation graph as JSON to this file")
+	solver := flag.String("solver", "exact", "synthesis mode: exact, greedy (heuristic covering) or baseline (greedy agglomerative merging)")
+	simulate := flag.Bool("simulate", false, "validate the result with the flow simulator")
+	flag.Parse()
+
+	cg, lib, err := loadInputs(*graphPath, *libPath, *example)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdcs:", err)
+		os.Exit(2)
+	}
+
+	opts := synth.Options{Merging: merging.Options{Policy: merging.MaxIndexRef}}
+	var ig *impl.Graph
+	var rep *synth.Report
+	switch *solver {
+	case "exact":
+		ig, rep, err = synth.Synthesize(cg, lib, opts)
+	case "greedy":
+		opts.Solver = synth.GreedySolver
+		ig, rep, err = synth.Synthesize(cg, lib, opts)
+	case "baseline":
+		var brep *baseline.Report
+		ig, brep, err = baseline.Synthesize(cg, lib, baseline.Options{})
+		if err == nil {
+			// Adapt the baseline report to the common shape.
+			rep = &synth.Report{Cost: brep.Cost, P2PCost: brep.P2PCost, Elapsed: brep.Elapsed}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cdcs: unknown solver %q\n", *solver)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdcs:", err)
+		os.Exit(1)
+	}
+	if err := ig.Verify(impl.VerifyOptions{}); err != nil {
+		fmt.Fprintln(os.Stderr, "cdcs: internal: result fails verification:", err)
+		os.Exit(1)
+	}
+	printReport(cg, rep)
+	printStats(ig)
+
+	if *simulate {
+		res, err := flowsim.Simulate(ig, flowsim.Config{Ticks: 600})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs: simulate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("flow simulation:")
+		var rows [][]string
+		for _, c := range res.Channels {
+			rows = append(rows, []string{
+				c.Name,
+				fmt.Sprintf("%.2f", c.Offered),
+				fmt.Sprintf("%.2f", c.Delivered),
+				map[bool]string{true: "yes", false: "NO"}[c.Satisfied()],
+			})
+		}
+		fmt.Println(report.Table([]string{"channel", "offered", "delivered", "satisfied"}, rows))
+		if !res.AllSatisfied() {
+			fmt.Fprintln(os.Stderr, "cdcs: simulation found starved channels")
+			os.Exit(1)
+		}
+	}
+
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(ig.Dot()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nDOT written to %s\n", *dotPath)
+	}
+	if *svgPath != "" {
+		svg := viz.Implementation(ig, viz.Options{ShowLabels: true})
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("SVG written to %s\n", *svgPath)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(ig, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("JSON written to %s\n", *jsonPath)
+	}
+}
+
+func loadInputs(graphPath, libPath, example string) (*model.ConstraintGraph, *library.Library, error) {
+	switch example {
+	case "wan":
+		return workloads.WAN(), workloads.WANLibrary(), nil
+	case "mpeg4":
+		return workloads.MPEG4(), workloads.MPEG4Technology().Library(), nil
+	case "":
+	default:
+		return nil, nil, fmt.Errorf("unknown example %q (wan, mpeg4)", example)
+	}
+	if graphPath == "" || libPath == "" {
+		return nil, nil, fmt.Errorf("need -graph and -lib, or -example")
+	}
+	graphData, err := os.ReadFile(graphPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cg, err := model.DecodeConstraintGraph(graphData)
+	if err != nil {
+		return nil, nil, err
+	}
+	libData, err := os.ReadFile(libPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	lib, err := library.Decode(libData)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cg, lib, nil
+}
+
+func printReport(cg *model.ConstraintGraph, rep *synth.Report) {
+	fmt.Printf("channels            : %d\n", cg.NumChannels())
+	fmt.Printf("point-to-point cost : %.3f\n", rep.P2PCost)
+	fmt.Printf("optimal cost        : %.3f\n", rep.Cost)
+	fmt.Printf("savings             : %.1f%%\n", rep.SavingsPercent())
+	fmt.Printf("mergings priced     : %d (infeasible %d, dominated %d)\n",
+		rep.PricedMergings, rep.InfeasibleMergings, rep.DominatedMergings)
+	fmt.Printf("solver optimal      : %v\n", rep.SolverOptimal)
+	fmt.Printf("elapsed             : %v\n\n", rep.Elapsed)
+
+	var rows [][]string
+	for _, c := range rep.SelectedCandidates() {
+		names := make([]string, len(c.Channels))
+		for i, ch := range c.Channels {
+			names[i] = cg.Channel(ch).Name
+		}
+		detail := ""
+		switch c.Kind {
+		case "p2p":
+			detail = describePlan(*c.Plan)
+		case "merge":
+			detail = fmt.Sprintf("trunk %s via mux %v → demux %v",
+				c.Merge.TrunkPlan.Link.Name, c.Merge.MuxPos, c.Merge.DemuxPos)
+		}
+		rows = append(rows, []string{
+			c.Kind,
+			fmt.Sprintf("%v", names),
+			fmt.Sprintf("%.3f", c.Cost),
+			detail,
+		})
+	}
+	fmt.Println(report.Table([]string{"kind", "channels", "cost", "detail"}, rows))
+}
+
+func printStats(ig *impl.Graph) {
+	stats := ig.Stats()
+	var rows [][]string
+	for _, name := range stats.LinkTypeNames() {
+		rows = append(rows, []string{
+			"link " + name,
+			fmt.Sprint(stats.LinksByType[name]),
+			fmt.Sprintf("%.3f", stats.LengthByType[name]),
+		})
+	}
+	if stats.Repeaters() > 0 {
+		rows = append(rows, []string{"repeaters", fmt.Sprint(stats.Repeaters()), ""})
+	}
+	if stats.Switches() > 0 {
+		rows = append(rows, []string{"switches (mux+demux)", fmt.Sprint(stats.Switches()), ""})
+	}
+	fmt.Println(report.Table([]string{"element", "count", "total length"}, rows))
+}
+
+func describePlan(p p2p.Plan) string {
+	return p.String()
+}

@@ -1,0 +1,68 @@
+// DSM/LID: the extension the paper's conclusion sketches — as process
+// technology shrinks below 0.18 µm, global wires stop crossing the die
+// in one clock period, and the repeater-insertion cost function must
+// weigh stateless buffers against stateful relay stations (latches) per
+// the latency-insensitive design methodology.
+//
+//	go run ./examples/dsm-lid [-premium 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/lid"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	premium := flag.Float64("premium", 4, "relay-station (latch) cost as a multiple of a buffer")
+	flag.Parse()
+
+	cg := workloads.MPEG4()
+	fmt.Printf("MPEG-4 decoder critical channels under DSM scaling (latch premium %.1f×)\n\n", *premium)
+
+	var rows [][]string
+	for _, gen := range lid.DSMGenerations() {
+		rep, err := lid.Analyze(cg, lid.ParamsFor(gen, *premium))
+		if err != nil {
+			log.Fatal(err)
+		}
+		single := "no"
+		if rep.SingleCycle() {
+			single = "yes"
+		}
+		rows = append(rows, []string{
+			gen.Name,
+			fmt.Sprintf("%.2f", gen.LCritMM),
+			fmt.Sprintf("%.1f", gen.ReachMM),
+			fmt.Sprint(rep.TotalBuffers),
+			fmt.Sprint(rep.TotalRelays),
+			single,
+			fmt.Sprint(rep.MaxLatencyCycles),
+			fmt.Sprintf("%.0f", rep.TotalCost),
+		})
+	}
+	fmt.Println(report.Table(
+		[]string{"process", "l_crit (mm)", "reach (mm)", "buffers", "relays", "single-cycle", "max latency", "cost"},
+		rows))
+
+	fmt.Println("\nper-channel detail at 90nm:")
+	rep, err := lid.Analyze(cg, lid.ParamsFor(lid.DSMGenerations()[2], *premium))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var detail [][]string
+	for i, plan := range rep.Channels {
+		detail = append(detail, []string{
+			rep.Names[i],
+			fmt.Sprintf("%.2f", plan.Distance),
+			fmt.Sprint(plan.Buffers),
+			fmt.Sprint(plan.RelayStations),
+			fmt.Sprint(plan.LatencyCycles),
+		})
+	}
+	fmt.Println(report.Table([]string{"channel", "d (mm)", "buffers", "relays", "latency (cyc)"}, detail))
+}

@@ -1,0 +1,17 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func BenchmarkGreedyAgglomerativeWAN(b *testing.B) {
+	cg := workloads.WAN()
+	lib := workloads.WANLibrary()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Synthesize(cg, lib, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

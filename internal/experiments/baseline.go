@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/merging"
+	"repro/internal/report"
+	"repro/internal/synth"
+	"repro/internal/workloads"
+)
+
+// BaselineComparison (E13) contrasts the paper's exact two-step
+// algorithm with a prior-art-style greedy agglomerative heuristic (the
+// local-improvement flavor of the related-work approaches). The paper's
+// own WAN instance is the separating example: no pair of {a4, a5, a6}
+// improves on point-to-point, so hill climbing never discovers the
+// 3-way merge the exact covering finds.
+func BaselineComparison() Outcome {
+	var rows [][]string
+	var recs []report.Record
+
+	type inst struct {
+		name string
+		cg   func() *workloadsGraph
+	}
+	instances := []inst{
+		{"WAN (paper Ex.1)", func() *workloadsGraph {
+			return &workloadsGraph{workloads.WAN(), workloads.WANLibrary()}
+		}},
+	}
+	for _, seed := range []int64{11, 12, 13, 14} {
+		s := seed
+		instances = append(instances, inst{
+			fmt.Sprintf("random seed %d (|A|=8)", s),
+			func() *workloadsGraph {
+				cg := workloads.RandomWAN(workloads.RandomWANConfig{
+					Seed: s, Clusters: 3, Channels: 8,
+				})
+				return &workloadsGraph{cg, workloads.WANLibrary()}
+			},
+		})
+	}
+
+	for _, in := range instances {
+		w := in.cg()
+		start := time.Now()
+		_, exact, err := synth.Synthesize(w.cg, w.lib, synth.Options{
+			Merging: merging.Options{Policy: merging.MaxIndexRef},
+		})
+		exactTime := time.Since(start)
+		if err != nil {
+			return errorOutcome("E13", err)
+		}
+		start = time.Now()
+		_, greedy, err := baseline.Synthesize(w.cg, w.lib, baseline.Options{})
+		greedyTime := time.Since(start)
+		if err != nil {
+			return errorOutcome("E13", err)
+		}
+		gap := 0.0
+		if exact.Cost > 0 {
+			gap = 100 * (greedy.Cost - exact.Cost) / exact.Cost
+		}
+		rows = append(rows, []string{
+			in.name,
+			fmt.Sprintf("%.2f", exact.Cost),
+			fmt.Sprintf("%.2f", greedy.Cost),
+			fmt.Sprintf("%.1f%%", gap),
+			fmt.Sprint(greedy.Merges),
+			exactTime.Round(time.Millisecond).String(),
+			greedyTime.Round(time.Millisecond).String(),
+		})
+		recs = append(recs, report.Record{
+			Experiment: "E13",
+			Metric:     in.name + ": exact ≤ agglomerative",
+			Paper:      "exact covering dominates local improvement",
+			Measured:   fmt.Sprintf("%.2f ≤ %.2f", exact.Cost, greedy.Cost),
+			Match:      exact.Cost <= greedy.Cost+1e-9,
+		})
+		if in.name == "WAN (paper Ex.1)" {
+			recs = append(recs, report.Record{
+				Experiment: "E13",
+				Metric:     "WAN: greedy stuck at point-to-point",
+				Paper:      "no 2-way step from {a4,a5,a6} improves; only the 3-way merge pays",
+				Measured:   fmt.Sprintf("%d merges committed, gap %.1f%%", greedy.Merges, gap),
+				Match:      greedy.Merges == 0 && gap > 20,
+			})
+		}
+	}
+	text := report.Table(
+		[]string{"instance", "exact cost", "greedy cost", "gap", "greedy merges", "exact time", "greedy time"},
+		rows)
+	return Outcome{
+		ID:      "E13",
+		Title:   "Baseline — exact algorithm vs greedy agglomerative merging",
+		Records: recs,
+		Text:    text,
+	}
+}

@@ -1,0 +1,350 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) and the repository's extension studies, each as
+// a self-contained function returning paper-vs-measured records plus a
+// printable detail section. cmd/cdcs-bench and the top-level Go
+// benchmarks are thin wrappers over this package; EXPERIMENTS.md is the
+// archived output.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/impl"
+	"repro/internal/merging"
+	"repro/internal/model"
+	"repro/internal/p2p"
+	"repro/internal/report"
+	"repro/internal/routing"
+	"repro/internal/synth"
+	"repro/internal/workloads"
+)
+
+// Outcome is one experiment's result.
+type Outcome struct {
+	// ID is the experiment identifier ("E1").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Records are the paper-vs-measured comparisons.
+	Records []report.Record
+	// Text is the printable detail (matrices, architecture listings).
+	Text string
+}
+
+// Passed reports whether all records matched.
+func (o Outcome) Passed() bool { return report.AllMatch(o.Records) }
+
+func channelNames() []string {
+	return []string{"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"}
+}
+
+// matrixOutcome compares a reproduced symmetric matrix against its
+// published counterpart within the E1/E2 tolerance.
+func matrixOutcome(id, title string, got *merging.SymMatrix, want [8][8]float64) Outcome {
+	const tol = 0.03
+	maxErr := 0.0
+	worst := ""
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			err := math.Abs(got.At(i, j) - want[i][j])
+			if err > maxErr {
+				maxErr = err
+				worst = fmt.Sprintf("(a%d,a%d)", i+1, j+1)
+			}
+		}
+	}
+	rec := report.Record{
+		Experiment: id,
+		Metric:     "max |entry error| km",
+		Paper:      "0 (published values)",
+		Measured:   fmt.Sprintf("%.4f at %s", maxErr, worst),
+		Match:      maxErr <= tol,
+		Note:       fmt.Sprintf("tolerance %.2f (two-decimal rounding)", tol),
+	}
+	text := report.UpperTriangle(channelNames(), got.At)
+	return Outcome{ID: id, Title: title, Records: []report.Record{rec}, Text: text}
+}
+
+// Table1 regenerates the Constrained Distance Sum Matrix Γ (paper
+// Table 1) from the reconstructed WAN instance.
+func Table1() Outcome {
+	cg := workloads.WAN()
+	return matrixOutcome("E1", "Table 1 — Γ matrix (km)", merging.Gamma(cg), workloads.PaperTable1())
+}
+
+// Table2 regenerates the Merging Distance Sum Matrix Δ (paper Table 2).
+func Table2() Outcome {
+	cg := workloads.WAN()
+	return matrixOutcome("E2", "Table 2 — Δ matrix (km)", merging.Delta(cg), workloads.PaperTable2())
+}
+
+// Fig3 reproduces the WAN constraint graph of Figure 3: the instance
+// statistics and the cluster structure.
+func Fig3() Outcome {
+	cg := workloads.WAN()
+	var recs []report.Record
+	recs = append(recs, report.Record{
+		Experiment: "E3", Metric: "constraint arcs",
+		Paper: "8", Measured: fmt.Sprint(cg.NumChannels()),
+		Match: cg.NumChannels() == 8,
+	})
+	recs = append(recs, report.Record{
+		Experiment: "E3", Metric: "uniform bandwidth (Mbps)",
+		Paper: "10", Measured: fmt.Sprint(workloads.WANBandwidth),
+		Match: workloads.WANBandwidth == 10,
+	})
+	// Cluster separation: the two groups are ~100 km apart while nodes
+	// within a group sit within ~10 km.
+	dPos, _ := workloads.WANNodePosition("D")
+	aPos, _ := workloads.WANNodePosition("A")
+	ePos, _ := workloads.WANNodePosition("E")
+	sep := cg.Norm().Distance(dPos, aPos)
+	intra := cg.Norm().Distance(dPos, ePos)
+	recs = append(recs, report.Record{
+		Experiment: "E3", Metric: "cluster separation / intra-cluster distance (km)",
+		Paper: "\"relatively much larger\"", Measured: fmt.Sprintf("%.1f / %.1f", sep, intra),
+		Match: sep > 10*intra,
+	})
+	var b strings.Builder
+	rows := make([][]string, 0, 8)
+	for i := 0; i < cg.NumChannels(); i++ {
+		ch := model.ChannelID(i)
+		c := cg.Channel(ch)
+		rows = append(rows, []string{
+			c.Name,
+			cg.Port(c.From).Module, cg.Port(c.To).Module,
+			fmt.Sprintf("%.3f", cg.Distance(ch)),
+			fmt.Sprintf("%.0f", c.Bandwidth),
+		})
+	}
+	b.WriteString(report.Table([]string{"arc", "from", "to", "d (km)", "b (Mbps)"}, rows))
+	return Outcome{ID: "E3", Title: "Figure 3 — WAN constraint graph", Records: recs, Text: b.String()}
+}
+
+// Candidates reproduces the Section 4 candidate-generation narrative:
+// per-k candidate counts, a8's unmergeability, and the Theorem 3.1
+// eliminations, under the paper-matching MaxIndexRef policy (AnyRef
+// shown alongside for comparison).
+func Candidates() Outcome {
+	cg := workloads.WAN()
+	lib := workloads.WANLibrary()
+	paper := workloads.PaperCandidateCounts()
+
+	res, err := merging.Enumerate(cg, lib, merging.Options{Policy: merging.MaxIndexRef})
+	if err != nil {
+		return errorOutcome("E4", err)
+	}
+	strict, err := merging.Enumerate(cg, lib, merging.Options{Policy: merging.AnyRef})
+	if err != nil {
+		return errorOutcome("E4", err)
+	}
+
+	var recs []report.Record
+	for k := 2; k <= 4; k++ {
+		recs = append(recs, report.Record{
+			Experiment: "E4", Metric: fmt.Sprintf("%d-way candidates", k),
+			Paper: fmt.Sprint(paper[k]), Measured: fmt.Sprint(res.Count(k)),
+			Match: res.Count(k) == paper[k],
+		})
+	}
+	recs = append(recs, report.Record{
+		Experiment: "E4", Metric: "5-way candidates",
+		Paper: fmt.Sprint(paper[5]), Measured: fmt.Sprint(res.Count(5)),
+		Match: res.Count(5) >= paper[5],
+		Note:  "sound superset; pruning may only discard provably sub-optimal sets",
+	})
+	a8, _ := cg.ChannelByName("a8")
+	recs = append(recs, report.Record{
+		Experiment: "E4", Metric: "a8 mergeable with any arc",
+		Paper: "no", Measured: yesNo(res.EliminatedAt[a8] != 2),
+		Match: res.EliminatedAt[a8] == 2,
+	})
+	a7, _ := cg.ChannelByName("a7")
+	maxA7 := res.MaxArityOf(a7)
+	recs = append(recs, report.Record{
+		Experiment: "E4", Metric: "largest k-way candidate containing a7",
+		Paper: "4 (\"in no merging with k > 4\")", Measured: fmt.Sprint(maxA7),
+		Match: maxA7 <= 4,
+	})
+
+	rows := [][]string{}
+	for k := 2; k <= 8; k++ {
+		if res.Count(k) == 0 && strict.Count(k) == 0 {
+			continue
+		}
+		paperVal := "-"
+		if v, ok := paper[k]; ok {
+			paperVal = fmt.Sprint(v)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(k), paperVal,
+			fmt.Sprint(res.Count(k)), fmt.Sprint(strict.Count(k)),
+		})
+	}
+	text := report.Table([]string{"k", "paper", "max-index-ref", "any-ref"}, rows)
+	return Outcome{ID: "E4", Title: "Section 4 — candidate arc mergings", Records: recs, Text: text}
+}
+
+// Fig4 reproduces Figure 4: the full synthesis of the WAN instance and
+// the optimum architecture (merge {a4, a5, a6} on an optical trunk,
+// dedicated radio links elsewhere).
+func Fig4() Outcome {
+	cg := workloads.WAN()
+	lib := workloads.WANLibrary()
+	ig, rep, err := synth.Synthesize(cg, lib, synth.Options{
+		Merging: merging.Options{Policy: merging.MaxIndexRef},
+	})
+	if err != nil {
+		return errorOutcome("E5", err)
+	}
+	if err := ig.Verify(impl.VerifyOptions{}); err != nil {
+		return errorOutcome("E5", fmt.Errorf("verification: %w", err))
+	}
+
+	merged := map[string]bool{}
+	radioArcs := map[string]bool{}
+	trunkLink := ""
+	for _, c := range rep.SelectedCandidates() {
+		if c.Kind == "merge" {
+			trunkLink = c.Merge.TrunkPlan.Link.Name
+			for _, ch := range c.Channels {
+				merged[cg.Channel(ch).Name] = true
+			}
+		} else {
+			radioArcs[cg.Channel(c.Channels[0]).Name] = c.Plan.Link.Name == "radio"
+		}
+	}
+	wantMerged := merged["a4"] && merged["a5"] && merged["a6"] && len(merged) == 3
+	allRadio := radioArcs["a1"] && radioArcs["a2"] && radioArcs["a3"] && radioArcs["a7"] && radioArcs["a8"]
+
+	recs := []report.Record{
+		{
+			Experiment: "E5", Metric: "merged arcs",
+			Paper: "{a4, a5, a6}", Measured: setString(merged),
+			Match: wantMerged,
+		},
+		{
+			Experiment: "E5", Metric: "merged trunk link",
+			Paper: "optical", Measured: trunkLink, Match: trunkLink == "optical",
+		},
+		{
+			Experiment: "E5", Metric: "remaining arcs",
+			Paper: "dedicated radio links", Measured: yesNo(allRadio) + " (all radio)",
+			Match: allRadio,
+		},
+		{
+			Experiment: "E5", Metric: "optimum beats point-to-point",
+			Paper: "yes (motivation for merging)",
+			Measured: fmt.Sprintf("%.2f vs %.2f (%.1f%% saved)",
+				rep.Cost, rep.P2PCost, rep.SavingsPercent()),
+			Match: rep.Cost < rep.P2PCost,
+		},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "optimal cost      : $%.2f\n", rep.Cost)
+	fmt.Fprintf(&b, "point-to-point    : $%.2f\n", rep.P2PCost)
+	fmt.Fprintf(&b, "savings           : %.1f%%\n", rep.SavingsPercent())
+	fmt.Fprintf(&b, "priced mergings   : %d (infeasible %d, dominated %d)\n",
+		rep.PricedMergings, rep.InfeasibleMergings, rep.DominatedMergings)
+	fmt.Fprintf(&b, "UCP nodes/prunes  : %d/%d\n", rep.UCPStats.Nodes, rep.UCPStats.Prunes)
+	fmt.Fprintf(&b, "elapsed           : %v\n", rep.Elapsed.Round(time.Millisecond))
+	for _, c := range rep.SelectedCandidates() {
+		if c.Kind == "merge" {
+			names := make([]string, len(c.Channels))
+			for i, ch := range c.Channels {
+				names[i] = cg.Channel(ch).Name
+			}
+			fmt.Fprintf(&b, "merge %v: mux %v, demux %v, trunk %s, cost $%.2f\n",
+				names, c.Merge.MuxPos, c.Merge.DemuxPos, c.Merge.TrunkPlan.Link.Name, c.Cost)
+		}
+	}
+	return Outcome{ID: "E5", Title: "Figure 4 — optimum WAN architecture", Records: recs, Text: b.String()}
+}
+
+// Fig5 reproduces Figure 5: repeater insertion on the MPEG-4 decoder's
+// critical channels at l_crit = 0.6 mm.
+func Fig5() Outcome {
+	cg := workloads.MPEG4()
+	tech := workloads.MPEG4Technology()
+	analytic := tech.TotalRepeaters(cg)
+
+	ig, plans, err := p2p.Synthesize(cg, tech.Library(), p2p.Options{})
+	if err != nil {
+		return errorOutcome("E6", err)
+	}
+	if err := ig.Verify(impl.VerifyOptions{}); err != nil {
+		return errorOutcome("E6", fmt.Errorf("verification: %w", err))
+	}
+	synthesized := 0
+	rows := [][]string{}
+	for i, plan := range plans {
+		ch := model.ChannelID(i)
+		reps := (plan.Segments - 1) * plan.Chains
+		synthesized += reps
+		rows = append(rows, []string{
+			cg.Channel(ch).Name,
+			fmt.Sprintf("%.2f", cg.Distance(ch)),
+			fmt.Sprint(plan.Segments),
+			fmt.Sprint(reps),
+		})
+	}
+	recs := []report.Record{
+		{
+			Experiment: "E6", Metric: "total repeaters (analytic ⌊d/l_crit⌋)",
+			Paper: fmt.Sprint(workloads.MPEG4ExpectedRepeaters), Measured: fmt.Sprint(analytic),
+			Match: analytic == workloads.MPEG4ExpectedRepeaters,
+			Note:  "synthetic floorplan constructed to the published total; see DESIGN.md §4",
+		},
+		{
+			Experiment: "E6", Metric: "total repeaters (synthesized segmentation)",
+			Paper: fmt.Sprint(workloads.MPEG4ExpectedRepeaters), Measured: fmt.Sprint(synthesized),
+			Match: synthesized == workloads.MPEG4ExpectedRepeaters,
+		},
+		{
+			Experiment: "E6", Metric: "l_crit (mm)",
+			Paper: "0.6", Measured: fmt.Sprint(tech.LCrit), Match: tech.LCrit == 0.6,
+		},
+	}
+	text := report.Table([]string{"channel", "d (mm)", "segments", "repeaters"}, rows)
+	if routed, err := routing.RouteImplementation(ig, routing.Options{}); err == nil {
+		text += fmt.Sprintf("\nrouted wirelength %.2f mm, congestion max/mean overlap %d/%.2f\n",
+			routed.TotalWirelength, routed.MaxOverlap, routed.MeanOverlap)
+	}
+	return Outcome{ID: "E6", Title: "Figure 5 — MPEG-4 decoder repeater insertion", Records: recs, Text: text}
+}
+
+func errorOutcome(id string, err error) Outcome {
+	return Outcome{
+		ID: id,
+		Records: []report.Record{{
+			Experiment: id, Metric: "execution",
+			Paper: "success", Measured: err.Error(), Match: false,
+		}},
+	}
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func setString(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	// Deterministic order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}

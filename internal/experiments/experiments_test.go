@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Passes(t *testing.T) {
+	o := Table1()
+	if !o.Passed() {
+		t.Errorf("E1 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "10.38") && !strings.Contains(o.Text, "10.39") {
+		t.Errorf("Γ(a1,a2) missing from rendering:\n%s", o.Text)
+	}
+}
+
+func TestTable2Passes(t *testing.T) {
+	o := Table2()
+	if !o.Passed() {
+		t.Errorf("E2 failed: %+v", o.Records)
+	}
+}
+
+func TestFig3Passes(t *testing.T) {
+	o := Fig3()
+	if !o.Passed() {
+		t.Errorf("E3 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "a4") {
+		t.Errorf("arc table missing:\n%s", o.Text)
+	}
+}
+
+func TestCandidatesPasses(t *testing.T) {
+	o := Candidates()
+	if !o.Passed() {
+		t.Errorf("E4 failed: %+v", o.Records)
+	}
+	// Both policies must be reported for comparison.
+	if !strings.Contains(o.Text, "any-ref") {
+		t.Errorf("strict policy column missing:\n%s", o.Text)
+	}
+}
+
+func TestFig4Passes(t *testing.T) {
+	o := Fig4()
+	if !o.Passed() {
+		t.Errorf("E5 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "optical") {
+		t.Errorf("merge detail missing:\n%s", o.Text)
+	}
+}
+
+func TestFig5Passes(t *testing.T) {
+	o := Fig5()
+	if !o.Passed() {
+		t.Errorf("E6 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "dma_mem") {
+		t.Errorf("channel table missing:\n%s", o.Text)
+	}
+}
+
+func TestFlowValidationPasses(t *testing.T) {
+	o := FlowValidation()
+	if !o.Passed() {
+		t.Errorf("E9 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "a4") {
+		t.Errorf("channel table missing:\n%s", o.Text)
+	}
+}
+
+func TestLIDSweepPasses(t *testing.T) {
+	o := LIDSweep()
+	if !o.Passed() {
+		t.Errorf("E10 failed: %+v", o.Records)
+	}
+	for _, want := range []string{"0.18um", "65nm", "relay stations"} {
+		if !strings.Contains(o.Text, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, o.Text)
+		}
+	}
+}
+
+func TestBandwidthSweepPasses(t *testing.T) {
+	o := BandwidthSweep()
+	if !o.Passed() {
+		t.Errorf("E11 failed: %+v", o.Records)
+	}
+	// The sweep table must show both trunk media (the crossover).
+	if !strings.Contains(o.Text, "radio") || !strings.Contains(o.Text, "optical") {
+		t.Errorf("crossover not visible:\n%s", o.Text)
+	}
+}
+
+func TestLANCaseStudyPasses(t *testing.T) {
+	o := LANCaseStudy()
+	if !o.Passed() {
+		t.Errorf("E12 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "wireless") || !strings.Contains(o.Text, "fiber") {
+		t.Errorf("media mix not visible:\n%s", o.Text)
+	}
+}
+
+func TestBaselineComparisonPasses(t *testing.T) {
+	o := BaselineComparison()
+	if !o.Passed() {
+		t.Errorf("E13 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "WAN (paper Ex.1)") {
+		t.Errorf("instance rows missing:\n%s", o.Text)
+	}
+}
+
+func TestSteinerGapPasses(t *testing.T) {
+	o := SteinerGap()
+	if !o.Passed() {
+		t.Errorf("E14 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "steiner bound") {
+		t.Errorf("gap table missing:\n%s", o.Text)
+	}
+}
+
+func TestAblationPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	o := Ablation()
+	if !o.Passed() {
+		t.Errorf("E7 failed: %+v", o.Records)
+	}
+	if !strings.Contains(o.Text, "no pruning at all") {
+		t.Errorf("variant rows missing:\n%s", o.Text)
+	}
+}
+
+func TestScalingPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	o := Scaling([]int{4, 6, 8})
+	if !o.Passed() {
+		t.Errorf("E8 failed: %+v", o.Records)
+	}
+}

@@ -1,0 +1,13 @@
+package floorplan
+
+import "testing"
+
+func BenchmarkPlace12Modules(b *testing.B) {
+	mods, demands := ringInstance(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(mods, demands, Options{Seed: int64(i), Iterations: 5000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

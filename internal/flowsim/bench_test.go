@@ -1,0 +1,44 @@
+package flowsim
+
+import (
+	"testing"
+
+	"repro/internal/merging"
+	"repro/internal/synth"
+	"repro/internal/workloads"
+)
+
+func BenchmarkSimulateWAN(b *testing.B) {
+	cg := workloads.WAN()
+	lib := workloads.WANLibrary()
+	ig, _, err := synth.Synthesize(cg, lib, synth.Options{
+		Merging: merging.Options{Policy: merging.MaxIndexRef},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(ig, Config{Ticks: 400}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateMPEG4(b *testing.B) {
+	cg := workloads.MPEG4()
+	lib := workloads.MPEG4Technology().Library()
+	ig, _, err := synth.Synthesize(cg, lib, synth.Options{
+		Merging: merging.Options{Policy: merging.MaxIndexRef, MaxK: 3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(ig, Config{Ticks: 200}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

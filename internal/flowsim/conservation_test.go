@@ -1,0 +1,125 @@
+package flowsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/impl"
+	"repro/internal/synth"
+	"repro/internal/workloads"
+)
+
+// Conservation and sanity properties of the fluid simulation on random
+// synthesized architectures.
+
+func randomArchitecture(t *testing.T, seed int64) *impl.Graph {
+	t.Helper()
+	cg := workloads.RandomWAN(workloads.RandomWANConfig{
+		Seed: seed, Clusters: 2, Channels: 5,
+	})
+	ig, _, err := synth.Synthesize(cg, workloads.WANLibrary(), synth.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return ig
+}
+
+// Property: delivered throughput never exceeds offered demand, and
+// never goes negative.
+func TestDeliveredBoundedByOffered(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ig := randomArchitecture(t, seed)
+		res, err := Simulate(ig, Config{Ticks: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Channels {
+			if c.Delivered < -1e-9 {
+				t.Fatalf("seed %d: negative delivery %v", seed, c.Delivered)
+			}
+			if c.Delivered > c.Offered*1.01 {
+				t.Fatalf("seed %d: channel %s delivered %v > offered %v",
+					seed, c.Name, c.Delivered, c.Offered)
+			}
+		}
+	}
+}
+
+// Property: per-link utilization stays within [0, 1] — the max-min
+// server can never overbook a link.
+func TestUtilizationBounded(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ig := randomArchitecture(t, seed)
+		res, err := Simulate(ig, Config{Ticks: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range res.Links {
+			if l.PeakUtilization < -1e-12 || l.PeakUtilization > 1+1e-9 {
+				t.Fatalf("seed %d: link %s peak utilization %v outside [0,1]",
+					seed, l.Link, l.PeakUtilization)
+			}
+			if l.MeanUtilization > l.PeakUtilization+1e-9 {
+				t.Fatalf("seed %d: mean %v exceeds peak %v", seed, l.MeanUtilization, l.PeakUtilization)
+			}
+		}
+	}
+}
+
+// Property: a longer simulation never reduces a channel's measured
+// sustained throughput by more than the transient tolerance (steady
+// state has been reached).
+func TestSteadyState(t *testing.T) {
+	ig := randomArchitecture(t, 3)
+	short, err := Simulate(ig, Config{Ticks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Simulate(ig, Config{Ticks: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range short.Channels {
+		s, l := short.Channels[i].Delivered, long.Channels[i].Delivered
+		if l < s*0.98 {
+			t.Errorf("channel %s regressed with longer sim: %v -> %v",
+				short.Channels[i].Name, s, l)
+		}
+	}
+}
+
+// Property: simulation is deterministic.
+func TestSimulationDeterministic(t *testing.T) {
+	ig := randomArchitecture(t, 4)
+	a, err := Simulate(ig, Config{Ticks: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(ig, Config{Ticks: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Channels {
+		if a.Channels[i].Delivered != b.Channels[i].Delivered {
+			t.Fatalf("non-deterministic delivery on %s", a.Channels[i].Name)
+		}
+	}
+}
+
+// Property: scaling all demands down keeps everything satisfied (the
+// architecture is provisioned for the full demand).
+func TestUnderloadAlwaysSatisfied(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	_ = r
+	for seed := int64(10); seed < 14; seed++ {
+		ig := randomArchitecture(t, seed)
+		res, err := Simulate(ig, Config{Ticks: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllSatisfied() {
+			t.Fatalf("seed %d: synthesized architecture starves channels: %+v",
+				seed, res.Channels)
+		}
+	}
+}

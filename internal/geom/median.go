@@ -1,0 +1,239 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// The placement step of the CDCS algorithm ("a simple nonlinear
+// optimization problem", Section 3) reduces to weighted single-facility
+// location: position a communication vertex x to minimize
+// Σᵢ wᵢ·‖x − sᵢ‖. This file provides the classical solvers:
+//
+//   - WeightedMedianL2: Weiszfeld iteration for the Euclidean norm,
+//   - WeightedMedianL1: exact per-axis weighted median for Manhattan,
+//   - WeightedMedian:   dispatch plus a derivative-free coordinate
+//     descent fallback that works for any Norm.
+//
+// All of them solve convex problems, so the local optimum found is the
+// global one.
+
+// MedianOptions tunes the iterative solvers. The zero value selects
+// sensible defaults.
+type MedianOptions struct {
+	// MaxIter bounds the number of Weiszfeld / coordinate-descent sweeps.
+	// Zero means 200.
+	MaxIter int
+	// Tol is the movement threshold below which iteration stops.
+	// Zero means 1e-9 relative to the bounding-box diagonal.
+	Tol float64
+}
+
+func (o MedianOptions) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 200
+	}
+	return o.MaxIter
+}
+
+func (o MedianOptions) tol(diag float64) float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	if diag == 0 {
+		return 1e-12
+	}
+	return 1e-9 * diag
+}
+
+// WeightedMedianL2 returns a minimizer of Σ wᵢ·‖x − sitesᵢ‖₂ using the
+// Weiszfeld algorithm with the standard singularity handling (when the
+// iterate lands on a site, the site is optimal iff its weight dominates
+// the pull of the others; otherwise the iterate is nudged along the
+// descent direction). A nil weights slice means unit weights. It panics
+// if sites is empty or a weight is negative.
+func WeightedMedianL2(sites []Point, weights []float64, opt MedianOptions) Point {
+	checkSites(sites, weights)
+	if len(sites) == 1 {
+		return sites[0]
+	}
+	// Weighted centroid as the starting iterate.
+	x := weightedCentroid(sites, weights)
+	b := Bounds(sites)
+	diag := math.Hypot(b.Width(), b.Height())
+	tol := opt.tol(diag)
+
+	for iter := 0; iter < opt.maxIter(); iter++ {
+		var num Point
+		var den float64
+		var atSite = -1
+		for i, s := range sites {
+			d := x.Sub(s).L2()
+			if d < 1e-15 {
+				atSite = i
+				continue
+			}
+			w := weightAt(weights, i)
+			num = num.Add(s.Scale(w / d))
+			den += w / d
+		}
+		if den == 0 {
+			// All sites coincide with x.
+			return x
+		}
+		next := num.Scale(1 / den)
+		if atSite >= 0 {
+			// Kuhn's optimality test at a site: the site is optimal iff
+			// the resultant pull R of the other sites satisfies ‖R‖ ≤ w.
+			var r Point
+			for i, s := range sites {
+				if i == atSite {
+					continue
+				}
+				d := x.Sub(s).L2()
+				if d < 1e-15 {
+					continue
+				}
+				r = r.Add(s.Sub(x).Scale(weightAt(weights, i) / d))
+			}
+			w := weightAt(weights, atSite)
+			if r.L2() <= w+1e-12 {
+				return x
+			}
+			// Nudge off the site along the pull direction.
+			step := (r.L2() - w) / den
+			next = x.Add(r.Scale(step / r.L2()))
+		}
+		if next.Sub(x).L2() <= tol {
+			return next
+		}
+		x = next
+	}
+	return x
+}
+
+// WeightedMedianL1 returns a minimizer of Σ wᵢ·‖x − sitesᵢ‖₁. Under the
+// Manhattan norm the problem separates per axis, and each axis optimum is
+// a weighted median of the site coordinates. A nil weights slice means
+// unit weights. It panics if sites is empty or a weight is negative.
+func WeightedMedianL1(sites []Point, weights []float64) Point {
+	checkSites(sites, weights)
+	xs := make([]float64, len(sites))
+	ys := make([]float64, len(sites))
+	for i, s := range sites {
+		xs[i] = s.X
+		ys[i] = s.Y
+	}
+	return Point{
+		X: weightedMedian1D(xs, weights),
+		Y: weightedMedian1D(ys, weights),
+	}
+}
+
+// weightedMedian1D returns a weighted median of vals: a point m such that
+// the total weight strictly below m and strictly above m are each at most
+// half of the total weight.
+func weightedMedian1D(vals []float64, weights []float64) float64 {
+	type vw struct {
+		v, w float64
+	}
+	items := make([]vw, len(vals))
+	var total float64
+	for i, v := range vals {
+		w := weightAt(weights, i)
+		items[i] = vw{v, w}
+		total += w
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	half := total / 2
+	var acc float64
+	for _, it := range items {
+		acc += it.w
+		if acc >= half {
+			return it.v
+		}
+	}
+	return items[len(items)-1].v
+}
+
+// WeightedMedian minimizes Σ wᵢ·‖x − sitesᵢ‖ under an arbitrary norm. For
+// the built-in Euclidean and Manhattan norms it dispatches to the
+// specialized solvers; otherwise it runs a derivative-free coordinate
+// descent with shrinking step sizes, which converges on these convex
+// objectives.
+func WeightedMedian(n Norm, sites []Point, weights []float64, opt MedianOptions) Point {
+	checkSites(sites, weights)
+	switch n.Name() {
+	case "euclidean":
+		return WeightedMedianL2(sites, weights, opt)
+	case "manhattan":
+		return WeightedMedianL1(sites, weights)
+	}
+	return coordinateDescent(n, sites, weights, opt)
+}
+
+func coordinateDescent(n Norm, sites []Point, weights []float64, opt MedianOptions) Point {
+	x := weightedCentroid(sites, weights)
+	b := Bounds(sites)
+	step := math.Max(b.Width(), b.Height())
+	if step == 0 {
+		return x
+	}
+	tol := opt.tol(step)
+	f := func(p Point) float64 { return SumOfDistances(n, p, sites, weights) }
+	best := f(x)
+	for iter := 0; iter < opt.maxIter()*4 && step > tol; iter++ {
+		improved := false
+		for _, d := range []Point{
+			{step, 0}, {-step, 0}, {0, step}, {0, -step},
+			{step, step}, {step, -step}, {-step, step}, {-step, -step},
+		} {
+			cand := x.Add(d)
+			if v := f(cand); v < best {
+				best, x = v, cand
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return x
+}
+
+func weightedCentroid(sites []Point, weights []float64) Point {
+	var c Point
+	var total float64
+	for i, s := range sites {
+		w := weightAt(weights, i)
+		c = c.Add(s.Scale(w))
+		total += w
+	}
+	if total == 0 {
+		return Centroid(sites)
+	}
+	return c.Scale(1 / total)
+}
+
+func weightAt(weights []float64, i int) float64 {
+	if weights == nil {
+		return 1
+	}
+	return weights[i]
+}
+
+func checkSites(sites []Point, weights []float64) {
+	if len(sites) == 0 {
+		panic("geom: median of empty site set")
+	}
+	if weights != nil {
+		if len(weights) != len(sites) {
+			panic("geom: median weight/site length mismatch")
+		}
+		for _, w := range weights {
+			if w < 0 || math.IsNaN(w) {
+				panic("geom: median weight must be non-negative")
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package graph is the hand-rolled directed-multigraph kernel underneath
+// the CDCS data structures (constraint graphs and implementation graphs).
+// It is deliberately minimal and allocation-friendly: vertices and arcs
+// are dense integer IDs, attributes live in caller-owned parallel slices,
+// and all traversals are iterative.
+//
+// The package supports multi-arcs (several distinct arcs between the same
+// ordered vertex pair), which the model needs: a module may communicate
+// with another through multiple unidirectional channels, and an
+// implementation graph may instantiate parallel links between the same
+// two communication vertices (K-way arc duplication, Def. 2.7).
+package graph
+
+import "fmt"
+
+// VertexID identifies a vertex of a Digraph. IDs are dense: the n-th
+// added vertex has ID n-1.
+type VertexID int
+
+// ArcID identifies an arc of a Digraph. IDs are dense in insertion order.
+type ArcID int
+
+// Arc is a directed connection between two vertices.
+type Arc struct {
+	From, To VertexID
+}
+
+// Digraph is a directed multigraph. The zero value is an empty graph
+// ready to use.
+type Digraph struct {
+	arcs []Arc
+	out  [][]ArcID
+	in   [][]ArcID
+}
+
+// NewDigraph returns a graph pre-sized for n vertices (all isolated).
+func NewDigraph(n int) *Digraph {
+	g := &Digraph{}
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices added so far.
+func (g *Digraph) NumVertices() int { return len(g.out) }
+
+// NumArcs returns the number of arcs added so far.
+func (g *Digraph) NumArcs() int { return len(g.arcs) }
+
+// AddVertex adds an isolated vertex and returns its ID.
+func (g *Digraph) AddVertex() VertexID {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return VertexID(len(g.out) - 1)
+}
+
+// AddArc adds a directed arc from u to v and returns its ID. Parallel
+// arcs are allowed; self-loops are rejected because neither constraint
+// graphs (a port does not talk to itself) nor implementation graphs
+// (a link connects two distinct endpoints) use them.
+func (g *Digraph) AddArc(u, v VertexID) (ArcID, error) {
+	if err := g.checkVertex(u); err != nil {
+		return 0, err
+	}
+	if err := g.checkVertex(v); err != nil {
+		return 0, err
+	}
+	if u == v {
+		return 0, fmt.Errorf("graph: self-loop on vertex %d rejected", u)
+	}
+	id := ArcID(len(g.arcs))
+	g.arcs = append(g.arcs, Arc{From: u, To: v})
+	g.out[u] = append(g.out[u], id)
+	g.in[v] = append(g.in[v], id)
+	return id, nil
+}
+
+// MustAddArc is AddArc for programmatic construction where the arguments
+// are known valid; it panics on error.
+func (g *Digraph) MustAddArc(u, v VertexID) ArcID {
+	id, err := g.AddArc(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Arc returns the endpoints of arc id.
+func (g *Digraph) Arc(id ArcID) Arc {
+	return g.arcs[id]
+}
+
+// HasVertex reports whether v is a valid vertex ID.
+func (g *Digraph) HasVertex(v VertexID) bool {
+	return v >= 0 && int(v) < len(g.out)
+}
+
+// HasArcID reports whether id is a valid arc ID.
+func (g *Digraph) HasArcID(id ArcID) bool {
+	return id >= 0 && int(id) < len(g.arcs)
+}
+
+// Out returns the IDs of arcs leaving v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Digraph) Out(v VertexID) []ArcID { return g.out[v] }
+
+// In returns the IDs of arcs entering v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Digraph) In(v VertexID) []ArcID { return g.in[v] }
+
+// OutDegree returns the number of arcs leaving v.
+func (g *Digraph) OutDegree(v VertexID) int { return len(g.out[v]) }
+
+// InDegree returns the number of arcs entering v.
+func (g *Digraph) InDegree(v VertexID) int { return len(g.in[v]) }
+
+// Degree returns the total number of arcs incident to v.
+func (g *Digraph) Degree(v VertexID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// ArcsBetween returns the IDs of all arcs from u to v, in insertion order.
+func (g *Digraph) ArcsBetween(u, v VertexID) []ArcID {
+	var ids []ArcID
+	for _, id := range g.out[u] {
+		if g.arcs[id].To == v {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Arcs returns a snapshot of every arc, indexed by ArcID.
+func (g *Digraph) Arcs() []Arc {
+	out := make([]Arc, len(g.arcs))
+	copy(out, g.arcs)
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{
+		arcs: make([]Arc, len(g.arcs)),
+		out:  make([][]ArcID, len(g.out)),
+		in:   make([][]ArcID, len(g.in)),
+	}
+	copy(c.arcs, g.arcs)
+	for i := range g.out {
+		c.out[i] = append([]ArcID(nil), g.out[i]...)
+		c.in[i] = append([]ArcID(nil), g.in[i]...)
+	}
+	return c
+}
+
+func (g *Digraph) checkVertex(v VertexID) error {
+	if !g.HasVertex(v) {
+		return fmt.Errorf("graph: vertex %d out of range [0, %d)", v, len(g.out))
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandom constructs a digraph from a quick-generated adjacency
+// recipe: sizes are clamped to keep the checks fast.
+func buildRandom(seed int64, nRaw, mRaw uint8) *Digraph {
+	n := int(nRaw%12) + 1
+	m := int(mRaw % 40)
+	r := rand.New(rand.NewSource(seed))
+	g := NewDigraph(n)
+	for e := 0; e < m; e++ {
+		u := VertexID(r.Intn(n))
+		v := VertexID(r.Intn(n))
+		if u != v {
+			g.MustAddArc(u, v)
+		}
+	}
+	return g
+}
+
+// Property: every arc's endpoints are valid and the in/out adjacency
+// lists are mutually consistent.
+func TestAdjacencyConsistencyProperty(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		g := buildRandom(seed, n, m)
+		for id := 0; id < g.NumArcs(); id++ {
+			a := g.Arc(ArcID(id))
+			if !g.HasVertex(a.From) || !g.HasVertex(a.To) {
+				return false
+			}
+			foundOut, foundIn := false, false
+			for _, o := range g.Out(a.From) {
+				if o == ArcID(id) {
+					foundOut = true
+				}
+			}
+			for _, i := range g.In(a.To) {
+				if i == ArcID(id) {
+					foundIn = true
+				}
+			}
+			if !foundOut || !foundIn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Σ out-degrees = Σ in-degrees = number of arcs.
+func TestDegreeSumProperty(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		g := buildRandom(seed, n, m)
+		outSum, inSum := 0, 0
+		for v := 0; v < g.NumVertices(); v++ {
+			outSum += g.OutDegree(VertexID(v))
+			inSum += g.InDegree(VertexID(v))
+		}
+		return outSum == g.NumArcs() && inSum == g.NumArcs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weakly connected components partition the vertices, and
+// every arc stays within one component.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		g := buildRandom(seed, n, m)
+		comp, count := g.WeaklyConnectedComponents()
+		for _, c := range comp {
+			if c < 0 || c >= count {
+				return false
+			}
+		}
+		for id := 0; id < g.NumArcs(); id++ {
+			a := g.Arc(ArcID(id))
+			if comp[a.From] != comp[a.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every path returned by SimplePaths validates and respects
+// the interior filter.
+func TestSimplePathsValidProperty(t *testing.T) {
+	f := func(seed int64, n, m uint8, srcRaw, dstRaw uint8) bool {
+		g := buildRandom(seed, n, m)
+		nv := g.NumVertices()
+		src := VertexID(int(srcRaw) % nv)
+		dst := VertexID(int(dstRaw) % nv)
+		allow := func(v VertexID) bool { return v%2 == 0 }
+		for _, p := range g.SimplePaths(src, dst, allow, 50) {
+			if err := p.Validate(g); err != nil {
+				return false
+			}
+			if p.Source() != src || p.Target() != dst {
+				return false
+			}
+			for _, v := range p.Interior() {
+				if !allow(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle property along
+// arcs: dist(to) ≤ dist(from) + w(arc).
+func TestDijkstraRelaxationProperty(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		g := buildRandom(seed, n, m)
+		r := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		w := make([]float64, g.NumArcs())
+		for i := range w {
+			w[i] = r.Float64() * 10
+		}
+		dist := g.Distances(0, func(id ArcID) float64 { return w[id] })
+		for id := 0; id < g.NumArcs(); id++ {
+			a := g.Arc(ArcID(id))
+			if dist[a.From]+w[id] < dist[a.To]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDijkstraGrid(b *testing.B) {
+	// 30×30 grid graph.
+	const side = 30
+	g := NewDigraph(side * side)
+	at := func(r, c int) VertexID { return VertexID(r*side + c) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				g.MustAddArc(at(r, c), at(r, c+1))
+			}
+			if r+1 < side {
+				g.MustAddArc(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	w := func(ArcID) float64 { return 1 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := g.ShortestPath(0, VertexID(side*side-1), w); !ok {
+			b.Fatal("unreachable")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package impl
+
+import (
+	"encoding/json"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// JSON export of a synthesized architecture, for handoff to downstream
+// tools (floorplanners, board routers, documentation generators). The
+// export is self-describing: vertices with kinds and positions, link
+// instances with their library types and realized lengths, and the
+// per-channel path sets.
+//
+// The export is one-way by design: an implementation graph is derived
+// data, and the authoritative inputs (constraint graph + library)
+// already round-trip through their own codecs.
+
+type jsonImpl struct {
+	Cost     float64       `json:"cost"`
+	Vertices []jsonVertex  `json:"vertices"`
+	Links    []jsonImpLink `json:"links"`
+	Channels []jsonImpPath `json:"channels"`
+}
+
+type jsonVertex struct {
+	ID   int     `json:"id"`
+	Kind string  `json:"kind"` // "computational" | "communication"
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	// Node is the library node name (communication vertices only).
+	Node string `json:"node,omitempty"`
+}
+
+type jsonImpLink struct {
+	ID     int     `json:"id"`
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Link   string  `json:"link"`
+	Length float64 `json:"length"`
+	Cost   float64 `json:"cost"`
+}
+
+type jsonImpPath struct {
+	Channel string  `json:"channel"`
+	Paths   [][]int `json:"paths"` // link IDs per path
+}
+
+// MarshalJSON encodes the architecture.
+func (ig *Graph) MarshalJSON() ([]byte, error) {
+	out := jsonImpl{Cost: ig.Cost()}
+	for v := 0; v < ig.NumVertices(); v++ {
+		vx := ig.Vertex(graph.VertexID(v))
+		jv := jsonVertex{
+			ID:   v,
+			Name: vx.Name,
+			X:    vx.Position.X,
+			Y:    vx.Position.Y,
+		}
+		if vx.Kind == Communication {
+			jv.Kind = "communication"
+			jv.Node = vx.Node.Name
+		} else {
+			jv.Kind = "computational"
+		}
+		out.Vertices = append(out.Vertices, jv)
+	}
+	for a := 0; a < ig.NumLinks(); a++ {
+		id := graph.ArcID(a)
+		arc := ig.g.Arc(id)
+		l := ig.links[id]
+		length := ig.ArcLength(id)
+		out.Links = append(out.Links, jsonImpLink{
+			ID:     a,
+			From:   int(arc.From),
+			To:     int(arc.To),
+			Link:   l.Name,
+			Length: length,
+			Cost:   l.Cost(length),
+		})
+	}
+	for i := 0; i < ig.cg.NumChannels(); i++ {
+		ch := model.ChannelID(i)
+		entry := jsonImpPath{Channel: ig.cg.Channel(ch).Name}
+		for _, p := range ig.Implementation(ch) {
+			ids := make([]int, len(p.Arcs))
+			for j, a := range p.Arcs {
+				ids[j] = int(a)
+			}
+			entry.Paths = append(entry.Paths, ids)
+		}
+		out.Channels = append(out.Channels, entry)
+	}
+	return json.Marshal(out)
+}

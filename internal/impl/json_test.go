@@ -1,0 +1,94 @@
+package impl
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+func TestImplementationJSONExport(t *testing.T) {
+	cg, u, v, ch := simpleCG(t)
+	ig := New(cg)
+	mid, _ := ig.AddCommVertex(repnode, geom.Pt(5, 0), "r0")
+	a0, _ := ig.AddLink(graph.VertexID(u), mid, radio)
+	a1, _ := ig.AddLink(mid, graph.VertexID(v), radio)
+	ig.AssignImplementation(ch, []graph.Path{{
+		Vertices: []graph.VertexID{graph.VertexID(u), mid, graph.VertexID(v)},
+		Arcs:     []graph.ArcID{a0, a1},
+	}})
+
+	data, err := json.Marshal(ig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded struct {
+		Cost     float64 `json:"cost"`
+		Vertices []struct {
+			Kind string `json:"kind"`
+			Node string `json:"node"`
+		} `json:"vertices"`
+		Links []struct {
+			Link   string  `json:"link"`
+			Length float64 `json:"length"`
+			Cost   float64 `json:"cost"`
+		} `json:"links"`
+		Channels []struct {
+			Channel string  `json:"channel"`
+			Paths   [][]int `json:"paths"`
+		} `json:"channels"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if math.Abs(decoded.Cost-ig.Cost()) > 1e-12 {
+		t.Errorf("cost = %v, want %v", decoded.Cost, ig.Cost())
+	}
+	if len(decoded.Vertices) != 3 {
+		t.Fatalf("vertices = %d, want 3", len(decoded.Vertices))
+	}
+	commCount := 0
+	for _, vx := range decoded.Vertices {
+		if vx.Kind == "communication" {
+			commCount++
+			if vx.Node == "" {
+				t.Error("communication vertex missing node name")
+			}
+		}
+	}
+	if commCount != 1 {
+		t.Errorf("communication vertices = %d, want 1", commCount)
+	}
+	if len(decoded.Links) != 2 {
+		t.Fatalf("links = %d, want 2", len(decoded.Links))
+	}
+	var total float64
+	for _, l := range decoded.Links {
+		if l.Link != "radio" {
+			t.Errorf("link type = %q", l.Link)
+		}
+		total += l.Length
+	}
+	if math.Abs(total-10) > 1e-12 {
+		t.Errorf("total length = %v, want 10", total)
+	}
+	if len(decoded.Channels) != 1 || decoded.Channels[0].Channel != "a1" {
+		t.Fatalf("channels = %+v", decoded.Channels)
+	}
+	if len(decoded.Channels[0].Paths) != 1 || len(decoded.Channels[0].Paths[0]) != 2 {
+		t.Errorf("paths = %+v, want one 2-link path", decoded.Channels[0].Paths)
+	}
+}
+
+func TestImplementationJSONExportEmptyChannelImpl(t *testing.T) {
+	// Export works even on partially built graphs (no assigned paths).
+	cg, u, v, _ := simpleCG(t)
+	ig := New(cg)
+	_, _ = ig.AddLink(graph.VertexID(u), graph.VertexID(v), radio)
+	if _, err := json.Marshal(ig); err != nil {
+		t.Fatalf("marshal of partial graph: %v", err)
+	}
+	_ = v
+}

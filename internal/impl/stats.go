@@ -1,0 +1,67 @@
+package impl
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// Stats summarizes an implementation graph's composition: instance
+// counts and total realized length per link type, instance counts per
+// node kind, and the aggregate cost split between links and nodes.
+type Stats struct {
+	// LinksByType maps link name to instance count.
+	LinksByType map[string]int
+	// LengthByType maps link name to summed realized length.
+	LengthByType map[string]float64
+	// NodesByKind maps node kind to instance count.
+	NodesByKind map[library.NodeKind]int
+	// LinkCost and NodeCost split the Definition 2.5 total.
+	LinkCost, NodeCost float64
+	// TotalLength is the summed realized length of all link instances.
+	TotalLength float64
+}
+
+// Stats computes the summary.
+func (ig *Graph) Stats() Stats {
+	s := Stats{
+		LinksByType:  make(map[string]int),
+		LengthByType: make(map[string]float64),
+		NodesByKind:  make(map[library.NodeKind]int),
+	}
+	for a := 0; a < ig.g.NumArcs(); a++ {
+		id := graph.ArcID(a)
+		l := ig.links[id]
+		length := ig.ArcLength(id)
+		s.LinksByType[l.Name]++
+		s.LengthByType[l.Name] += length
+		s.TotalLength += length
+		s.LinkCost += l.Cost(length)
+	}
+	for _, v := range ig.vertices {
+		if v.Kind == Communication {
+			s.NodesByKind[v.Node.Kind]++
+			s.NodeCost += v.Node.Cost
+		}
+	}
+	return s
+}
+
+// LinkTypeNames returns the link type names present, sorted.
+func (s Stats) LinkTypeNames() []string {
+	names := make([]string, 0, len(s.LinksByType))
+	for n := range s.LinksByType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Repeaters returns the number of repeater instances.
+func (s Stats) Repeaters() int { return s.NodesByKind[library.Repeater] }
+
+// Switches returns the combined number of mux and demux instances.
+func (s Stats) Switches() int {
+	return s.NodesByKind[library.Mux] + s.NodesByKind[library.Demux]
+}

@@ -1,0 +1,52 @@
+package impl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+func TestStats(t *testing.T) {
+	cg := model.NewConstraintGraph(geom.Euclidean)
+	u := cg.MustAddPort(model.Port{Name: "u", Position: geom.Pt(0, 0)})
+	v := cg.MustAddPort(model.Port{Name: "v", Position: geom.Pt(10, 0)})
+	ch := cg.MustAddChannel(model.Channel{Name: "c", From: u, To: v, Bandwidth: 10})
+
+	ig := New(cg)
+	mid, _ := ig.AddCommVertex(library.Node{Name: "rep", Kind: library.Repeater, Cost: 3}, geom.Pt(5, 0), "")
+	a0, _ := ig.AddLink(graph.VertexID(u), mid, radio)
+	a1, _ := ig.AddLink(mid, graph.VertexID(v), radio)
+	ig.AssignImplementation(ch, []graph.Path{{
+		Vertices: []graph.VertexID{graph.VertexID(u), mid, graph.VertexID(v)},
+		Arcs:     []graph.ArcID{a0, a1},
+	}})
+
+	s := ig.Stats()
+	if s.LinksByType["radio"] != 2 {
+		t.Errorf("radio instances = %d, want 2", s.LinksByType["radio"])
+	}
+	if math.Abs(s.LengthByType["radio"]-10) > 1e-12 || math.Abs(s.TotalLength-10) > 1e-12 {
+		t.Errorf("lengths wrong: %+v", s)
+	}
+	if s.Repeaters() != 1 || s.Switches() != 0 {
+		t.Errorf("node counts wrong: %+v", s.NodesByKind)
+	}
+	if s.NodeCost != 3 {
+		t.Errorf("NodeCost = %v, want 3", s.NodeCost)
+	}
+	if math.Abs(s.LinkCost-20) > 1e-12 { // $2/unit × 10 units
+		t.Errorf("LinkCost = %v, want 20", s.LinkCost)
+	}
+	// Stats split must reconstruct the Definition 2.5 total.
+	if math.Abs((s.LinkCost+s.NodeCost)-ig.Cost()) > 1e-12 {
+		t.Errorf("stats split %v ≠ graph cost %v", s.LinkCost+s.NodeCost, ig.Cost())
+	}
+	names := s.LinkTypeNames()
+	if len(names) != 1 || names[0] != "radio" {
+		t.Errorf("LinkTypeNames = %v", names)
+	}
+}

@@ -1,0 +1,24 @@
+package library
+
+import "testing"
+
+// FuzzDecode ensures the library JSON decoder never panics and that
+// accepted libraries re-validate and re-encode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{"links":[{"name":"radio","bandwidth":11,"maxSpan":null,"costPerLength":2}],"nodes":[{"name":"mux","kind":"mux","cost":0}]}`))
+	f.Add([]byte(`{"links":[{"name":"w","bandwidth":1,"maxSpan":0.6,"costFixed":1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"links":[{"name":"x","bandwidth":-1,"maxSpan":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := lib.Validate(); err != nil {
+			t.Fatalf("accepted library fails validation: %v", err)
+		}
+		if _, err := lib.MarshalJSON(); err != nil {
+			t.Fatalf("accepted library fails to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package library
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// JSON schema for libraries:
+//
+//	{"links":[{"name":"radio","bandwidth":11,"maxSpan":null,"costPerLength":2}],
+//	 "nodes":[{"name":"mux","kind":"mux","cost":0}]}
+//
+// A null or absent maxSpan means the link is length-parametric
+// (unbounded span).
+
+type jsonLibrary struct {
+	Links []jsonLink `json:"links"`
+	Nodes []jsonNode `json:"nodes,omitempty"`
+}
+
+type jsonLink struct {
+	Name          string   `json:"name"`
+	Bandwidth     float64  `json:"bandwidth"`
+	MaxSpan       *float64 `json:"maxSpan"`
+	CostFixed     float64  `json:"costFixed,omitempty"`
+	CostPerLength float64  `json:"costPerLength,omitempty"`
+}
+
+type jsonNode struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	Cost float64 `json:"cost"`
+}
+
+// MarshalJSON encodes the library; unbounded spans become null.
+func (lib *Library) MarshalJSON() ([]byte, error) {
+	out := jsonLibrary{}
+	for _, l := range lib.Links {
+		jl := jsonLink{
+			Name:          l.Name,
+			Bandwidth:     l.Bandwidth,
+			CostFixed:     l.CostFixed,
+			CostPerLength: l.CostPerLength,
+		}
+		if !l.Unbounded() {
+			span := l.MaxSpan
+			jl.MaxSpan = &span
+		}
+		out.Links = append(out.Links, jl)
+	}
+	for _, n := range lib.Nodes {
+		out.Nodes = append(out.Nodes, jsonNode{Name: n.Name, Kind: n.Kind.String(), Cost: n.Cost})
+	}
+	return json.Marshal(out)
+}
+
+// Decode parses a library serialized by MarshalJSON and validates it.
+func Decode(data []byte) (*Library, error) {
+	var in jsonLibrary
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("library: decode: %w", err)
+	}
+	lib := &Library{}
+	for _, l := range in.Links {
+		span := math.Inf(1)
+		if l.MaxSpan != nil {
+			span = *l.MaxSpan
+		}
+		lib.Links = append(lib.Links, Link{
+			Name:          l.Name,
+			Bandwidth:     l.Bandwidth,
+			MaxSpan:       span,
+			CostFixed:     l.CostFixed,
+			CostPerLength: l.CostPerLength,
+		})
+	}
+	for _, n := range in.Nodes {
+		kind, err := KindByName(n.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("library: decode: %w", err)
+		}
+		lib.Nodes = append(lib.Nodes, Node{Name: n.Name, Kind: kind, Cost: n.Cost})
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+// KindByName is the inverse of NodeKind.String.
+func KindByName(name string) (NodeKind, error) {
+	switch name {
+	case "repeater":
+		return Repeater, nil
+	case "mux":
+		return Mux, nil
+	case "demux":
+		return Demux, nil
+	default:
+		return 0, fmt.Errorf("library: unknown node kind %q", name)
+	}
+}

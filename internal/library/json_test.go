@@ -1,0 +1,81 @@
+package library
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLibraryJSONRoundTrip(t *testing.T) {
+	lib := validLibrary()
+	data, err := json.Marshal(lib)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.Links) != len(lib.Links) || len(got.Nodes) != len(lib.Nodes) {
+		t.Fatalf("shape changed: %d/%d links, %d/%d nodes",
+			len(got.Links), len(lib.Links), len(got.Nodes), len(lib.Nodes))
+	}
+	for i, l := range lib.Links {
+		g := got.Links[i]
+		if g.Name != l.Name || g.Bandwidth != l.Bandwidth ||
+			g.CostFixed != l.CostFixed || g.CostPerLength != l.CostPerLength {
+			t.Errorf("link %d changed: %+v vs %+v", i, g, l)
+		}
+		if l.Unbounded() != g.Unbounded() {
+			t.Errorf("link %d span boundedness changed", i)
+		}
+		if !l.Unbounded() && g.MaxSpan != l.MaxSpan {
+			t.Errorf("link %d span changed: %v vs %v", i, g.MaxSpan, l.MaxSpan)
+		}
+	}
+	for i, n := range lib.Nodes {
+		if got.Nodes[i] != n {
+			t.Errorf("node %d changed: %+v vs %+v", i, got.Nodes[i], n)
+		}
+	}
+}
+
+func TestUnboundedSpanEncodesAsNull(t *testing.T) {
+	lib := &Library{Links: []Link{
+		{Name: "radio", Bandwidth: 1, MaxSpan: math.Inf(1), CostPerLength: 1},
+	}}
+	data, err := json.Marshal(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"maxSpan":null`) {
+		t.Errorf("unbounded span should encode as null: %s", data)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"links":[{"name":"x","bandwidth":1,"maxSpan":1,"costFixed":1}],"nodes":[{"name":"n","kind":"router","cost":1}]}`,
+		`{"links":[]}`, // fails validation: no links
+		`{"links":[{"name":"x","bandwidth":-1,"maxSpan":1,"costFixed":1}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Decode([]byte(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, kind := range []NodeKind{Repeater, Mux, Demux} {
+		got, err := KindByName(kind.String())
+		if err != nil || got != kind {
+			t.Errorf("KindByName(%q) = %v, %v", kind.String(), got, err)
+		}
+	}
+	if _, err := KindByName("bogus"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}

@@ -1,0 +1,190 @@
+// Package lid implements the extension sketched in the paper's
+// conclusion: combining constraint-driven communication synthesis with
+// the latency-insensitive design (LID) methodology of reference [1]
+// once deep sub-micron wires no longer traverse the chip in one clock
+// period.
+//
+// The model follows the paper's framing: after optimal repeater
+// insertion at the critical length l_crit, a global wire propagates
+// signals at a fixed velocity, so a clock period T bounds the distance
+// one cycle can cover (the per-clock reach). Segments beyond the reach
+// need *stateful* repeaters — relay stations with latches — while the
+// remaining segmentation points keep *stateless* buffers. The cost
+// function the conclusion calls for weighs both:
+//
+//	C = w_buf · (#stateless buffers) + w_latch · (#relay stations)
+//
+// and each relay station adds one clock cycle of channel latency, the
+// quantity the LID methodology makes safe by construction.
+package lid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/soc"
+)
+
+// Params describes a technology point for LID analysis.
+type Params struct {
+	// Tech supplies l_crit (the repeater spacing).
+	Tech soc.Technology
+	// ClockPeriodNS is the target clock period in nanoseconds.
+	ClockPeriodNS float64
+	// VelocityMMPerNS is the post-repeater signal velocity in mm/ns.
+	VelocityMMPerNS float64
+	// BufferCost weighs a stateless repeater; LatchCost weighs a relay
+	// station (stateful). LatchCost ≥ BufferCost in practice.
+	BufferCost, LatchCost float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Tech.LCrit <= 0 {
+		return fmt.Errorf("lid: technology l_crit must be positive")
+	}
+	if p.ClockPeriodNS <= 0 || p.VelocityMMPerNS <= 0 {
+		return fmt.Errorf("lid: clock period and velocity must be positive")
+	}
+	if p.BufferCost < 0 || p.LatchCost < 0 {
+		return fmt.Errorf("lid: costs must be non-negative")
+	}
+	return nil
+}
+
+// PerClockReach returns the longest distance (mm) a signal covers in
+// one clock period on an optimally repeated wire.
+func (p Params) PerClockReach() float64 {
+	return p.ClockPeriodNS * p.VelocityMMPerNS
+}
+
+// ChannelPlan is the LID treatment of one channel.
+type ChannelPlan struct {
+	// Distance is the channel's Manhattan length (mm).
+	Distance float64
+	// Buffers is the number of stateless repeaters inserted.
+	Buffers int
+	// RelayStations is the number of stateful repeaters (latches).
+	RelayStations int
+	// LatencyCycles is the channel's forward latency in clock cycles
+	// (1 + one per relay station).
+	LatencyCycles int
+	// Cost is w_buf·Buffers + w_latch·RelayStations.
+	Cost float64
+}
+
+// Plan computes the LID treatment of a channel of the given length:
+// the wire is segmented every l_crit as in the base flow; segmentation
+// points falling on per-clock-reach boundaries become relay stations,
+// the rest remain plain buffers.
+func (p Params) Plan(distance float64) ChannelPlan {
+	if distance < 0 {
+		distance = 0
+	}
+	repeaters := p.Tech.RepeaterCount(distance) // ⌊d / l_crit⌋
+	reach := p.PerClockReach()
+	relays := 0
+	if reach > 0 && distance > reach {
+		// One relay station at each whole multiple of the reach.
+		relays = int(math.Ceil(distance/reach-1e-12)) - 1
+	}
+	if relays > repeaters {
+		// A relay station subsumes a repeater position; if timing needs
+		// more stations than l_crit points exist, extra stations are
+		// inserted on their own.
+		repeaters = relays
+	}
+	buffers := repeaters - relays
+	return ChannelPlan{
+		Distance:      distance,
+		Buffers:       buffers,
+		RelayStations: relays,
+		LatencyCycles: 1 + relays,
+		Cost:          p.BufferCost*float64(buffers) + p.LatchCost*float64(relays),
+	}
+}
+
+// Report aggregates the LID analysis of a constraint graph.
+type Report struct {
+	Params   Params
+	Channels []ChannelPlan
+	// Names mirrors Channels with the constraint-graph channel names.
+	Names []string
+	// TotalBuffers, TotalRelays and TotalCost aggregate the plans.
+	TotalBuffers, TotalRelays int
+	TotalCost                 float64
+	// MaxLatencyCycles is the worst channel latency.
+	MaxLatencyCycles int
+}
+
+// Analyze runs the LID treatment over every channel of an on-chip
+// constraint graph (which should use the Manhattan norm).
+func Analyze(cg *model.ConstraintGraph, p Params) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cg.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Params: p}
+	for i := 0; i < cg.NumChannels(); i++ {
+		ch := model.ChannelID(i)
+		plan := p.Plan(cg.Distance(ch))
+		rep.Channels = append(rep.Channels, plan)
+		rep.Names = append(rep.Names, cg.Channel(ch).Name)
+		rep.TotalBuffers += plan.Buffers
+		rep.TotalRelays += plan.RelayStations
+		rep.TotalCost += plan.Cost
+		if plan.LatencyCycles > rep.MaxLatencyCycles {
+			rep.MaxLatencyCycles = plan.LatencyCycles
+		}
+	}
+	return rep, nil
+}
+
+// SingleCycle reports whether every channel completes in one clock
+// period — the paper's stated validity condition for the plain Figure 5
+// result ("as long as all links on the chip have a delay smaller than
+// the clock period").
+func (r *Report) SingleCycle() bool {
+	return r.MaxLatencyCycles <= 1
+}
+
+// TechnologyPoint bundles a named process generation for the DSM sweep
+// of experiment E10.
+type TechnologyPoint struct {
+	Name string
+	// LCritMM is the repeater spacing at this node.
+	LCritMM float64
+	// ReachMM is the per-clock reach at this node (clock periods shrink
+	// and wires slow relative to gates as feature size drops).
+	ReachMM float64
+}
+
+// DSMGenerations returns the sweep the paper's conclusion motivates:
+// at 0.18 µm every global wire still makes timing in a cycle; at
+// 0.13 µm and below ("this will be true for fewer wires") relay
+// stations appear.
+func DSMGenerations() []TechnologyPoint {
+	return []TechnologyPoint{
+		{Name: "0.18um", LCritMM: 0.60, ReachMM: 12.0},
+		{Name: "0.13um", LCritMM: 0.45, ReachMM: 3.0},
+		{Name: "90nm", LCritMM: 0.30, ReachMM: 1.5},
+		{Name: "65nm", LCritMM: 0.20, ReachMM: 0.8},
+	}
+}
+
+// ParamsFor builds LID parameters for a DSM generation with unit buffer
+// cost and the given latch premium (latch cost = premium × buffer
+// cost). Velocity is normalized so the reach equals the generation's
+// ReachMM at a 1 ns clock.
+func ParamsFor(gen TechnologyPoint, latchPremium float64) Params {
+	return Params{
+		Tech:            soc.Technology{Name: gen.Name, LCrit: gen.LCritMM, WireBandwidth: 100},
+		ClockPeriodNS:   1,
+		VelocityMMPerNS: gen.ReachMM,
+		BufferCost:      1,
+		LatchCost:       latchPremium,
+	}
+}

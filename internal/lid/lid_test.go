@@ -1,0 +1,186 @@
+package lid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/workloads"
+)
+
+func params018() Params {
+	return ParamsFor(DSMGenerations()[0], 4)
+}
+
+func TestValidate(t *testing.T) {
+	p := params018()
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := p
+	bad.ClockPeriodNS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero clock should be rejected")
+	}
+	bad = p
+	bad.Tech.LCrit = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero l_crit should be rejected")
+	}
+	bad = p
+	bad.LatchCost = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost should be rejected")
+	}
+}
+
+func TestPerClockReach(t *testing.T) {
+	p := Params{Tech: soc.Tech180nm(), ClockPeriodNS: 2, VelocityMMPerNS: 3}
+	if got := p.PerClockReach(); got != 6 {
+		t.Errorf("reach = %v, want 6", got)
+	}
+}
+
+func TestPlanSingleCycle(t *testing.T) {
+	// Reach 12 mm at 0.18 µm: a 4.25 mm channel is single cycle with
+	// the plain ⌊d/l_crit⌋ = 7 buffers and no latches.
+	plan := params018().Plan(4.25)
+	if plan.Buffers != 7 || plan.RelayStations != 0 || plan.LatencyCycles != 1 {
+		t.Errorf("plan = %+v, want 7 buffers, 0 relays, 1 cycle", plan)
+	}
+	if plan.Cost != 7 {
+		t.Errorf("cost = %v, want 7", plan.Cost)
+	}
+}
+
+func TestPlanMultiCycle(t *testing.T) {
+	// 0.13 µm: reach 3 mm, l_crit 0.45 mm. A 4.25 mm channel needs
+	// ⌈4.25/3⌉−1 = 1 relay station and ⌊4.25/0.45⌋ = 9 repeater sites,
+	// one of which becomes the relay.
+	p := ParamsFor(DSMGenerations()[1], 4)
+	plan := p.Plan(4.25)
+	if plan.RelayStations != 1 {
+		t.Errorf("relays = %d, want 1", plan.RelayStations)
+	}
+	if plan.Buffers != 8 {
+		t.Errorf("buffers = %d, want 8 (9 sites − 1 relay)", plan.Buffers)
+	}
+	if plan.LatencyCycles != 2 {
+		t.Errorf("latency = %d cycles, want 2", plan.LatencyCycles)
+	}
+	if want := 8.0 + 4.0; plan.Cost != want {
+		t.Errorf("cost = %v, want %v", plan.Cost, want)
+	}
+}
+
+func TestPlanRelayDominated(t *testing.T) {
+	// Pathological: reach shorter than l_crit — every segment boundary
+	// is a relay and extra stations subsume the repeater count.
+	p := Params{
+		Tech:            soc.Technology{Name: "x", LCrit: 2.0, WireBandwidth: 1},
+		ClockPeriodNS:   1,
+		VelocityMMPerNS: 0.5, // reach 0.5 < l_crit 2.0
+		BufferCost:      1,
+		LatchCost:       4,
+	}
+	plan := p.Plan(2.0)
+	// ⌈2/0.5⌉−1 = 3 relays > ⌊2/2⌋ = 1 repeater.
+	if plan.RelayStations != 3 || plan.Buffers != 0 {
+		t.Errorf("plan = %+v, want 3 relays, 0 buffers", plan)
+	}
+	if plan.LatencyCycles != 4 {
+		t.Errorf("latency = %d, want 4", plan.LatencyCycles)
+	}
+}
+
+func TestPlanBoundaries(t *testing.T) {
+	p := params018()
+	zero := p.Plan(0)
+	if zero.Buffers != 0 || zero.RelayStations != 0 || zero.LatencyCycles != 1 {
+		t.Errorf("zero-length plan = %+v", zero)
+	}
+	neg := p.Plan(-5)
+	if neg.Buffers != 0 || neg.Cost != 0 {
+		t.Errorf("negative-length plan = %+v", neg)
+	}
+	// Distance exactly equal to the reach stays single cycle.
+	exact := p.Plan(p.PerClockReach())
+	if exact.RelayStations != 0 {
+		t.Errorf("at-reach plan = %+v, want 0 relays", exact)
+	}
+}
+
+func TestAnalyzeMPEG4At018MatchesPaperAssumption(t *testing.T) {
+	// The paper's Figure 5 result holds "as long as all links on the
+	// chip have a delay smaller than the clock period": at 0.18 µm the
+	// LID analysis must report single-cycle operation and exactly the
+	// 55 stateless repeaters.
+	cg := workloads.MPEG4()
+	rep, err := Analyze(cg, params018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SingleCycle() {
+		t.Errorf("0.18 µm should be single cycle; max latency %d", rep.MaxLatencyCycles)
+	}
+	if rep.TotalBuffers != workloads.MPEG4ExpectedRepeaters || rep.TotalRelays != 0 {
+		t.Errorf("buffers/relays = %d/%d, want 55/0", rep.TotalBuffers, rep.TotalRelays)
+	}
+}
+
+func TestAnalyzeMPEG4DSMSweepMonotone(t *testing.T) {
+	// Shrinking the technology must monotonically increase relay
+	// stations and worst-case latency — the paper's DSM prediction.
+	cg := workloads.MPEG4()
+	prevRelays, prevLatency := -1, 0
+	for _, gen := range DSMGenerations() {
+		rep, err := Analyze(cg, ParamsFor(gen, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalRelays < prevRelays {
+			t.Errorf("%s: relays decreased: %d < %d", gen.Name, rep.TotalRelays, prevRelays)
+		}
+		if rep.MaxLatencyCycles < prevLatency {
+			t.Errorf("%s: latency decreased: %d < %d", gen.Name, rep.MaxLatencyCycles, prevLatency)
+		}
+		prevRelays, prevLatency = rep.TotalRelays, rep.MaxLatencyCycles
+	}
+	// The deepest node must actually need relay stations.
+	last, err := Analyze(cg, ParamsFor(DSMGenerations()[3], 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.TotalRelays == 0 {
+		t.Error("65nm should require relay stations on a ~6mm die")
+	}
+	if last.SingleCycle() {
+		t.Error("65nm should not be single cycle")
+	}
+}
+
+func TestAnalyzeCostWeights(t *testing.T) {
+	cg := workloads.MPEG4()
+	cheap, err := Analyze(cg, ParamsFor(DSMGenerations()[2], 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Analyze(cg, ParamsFor(DSMGenerations()[2], 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiff := 9 * float64(cheap.TotalRelays)
+	if math.Abs((costly.TotalCost-cheap.TotalCost)-wantDiff) > 1e-9 {
+		t.Errorf("latch premium not reflected: diff = %v, want %v",
+			costly.TotalCost-cheap.TotalCost, wantDiff)
+	}
+}
+
+func TestAnalyzeRejectsBadInputs(t *testing.T) {
+	cg := workloads.MPEG4()
+	bad := params018()
+	bad.VelocityMMPerNS = 0
+	if _, err := Analyze(cg, bad); err == nil {
+		t.Error("invalid params should error")
+	}
+}

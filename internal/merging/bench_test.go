@@ -1,0 +1,64 @@
+package merging
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/library"
+	"repro/internal/workloads"
+)
+
+func benchLib() *library.Library {
+	return &library.Library{
+		Links: []library.Link{
+			{Name: "slow", Bandwidth: 11, MaxSpan: math.Inf(1), CostPerLength: 2},
+			{Name: "fast", Bandwidth: 1000, MaxSpan: math.Inf(1), CostPerLength: 4},
+		},
+	}
+}
+
+func BenchmarkGammaDeltaWAN(b *testing.B) {
+	cg := workloads.WAN()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Gamma(cg)
+		_ = Delta(cg)
+	}
+}
+
+func BenchmarkEnumerateWAN(b *testing.B) {
+	cg := workloads.WAN()
+	lib := benchLib()
+	for _, pol := range []RefPolicy{MaxIndexRef, AnyRef} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Enumerate(cg, lib, Options{Policy: pol}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEnumerateRandom12(b *testing.B) {
+	cg := workloads.RandomWAN(workloads.RandomWANConfig{Seed: 4, Clusters: 3, Channels: 12})
+	lib := benchLib()
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Enumerate(cg, lib, Options{Policy: AnyRef}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := Enumerate(cg, lib, Options{
+				DisableLemma31: true, DisableLemma32: true,
+				DisableTheorem31: true, DisableTheorem32: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

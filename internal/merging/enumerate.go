@@ -1,0 +1,202 @@
+package merging
+
+import (
+	"fmt"
+
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+// Options configures candidate enumeration.
+type Options struct {
+	// Policy selects the Lemma 3.2 reference-arc policy (default AnyRef).
+	Policy RefPolicy
+	// MaxK caps the merging arity considered; zero means |A|.
+	MaxK int
+	// MaxCandidates aborts enumeration when the candidate count exceeds
+	// the cap (a safety valve for large random instances); zero means
+	// unlimited.
+	MaxCandidates int
+	// DisableLemma31, DisableLemma32 and DisableTheorem32 switch off the
+	// respective prunes for ablation studies. Theorem 3.1 elimination is
+	// implied by the per-level candidate sets and switched off via
+	// DisableTheorem31.
+	DisableLemma31   bool
+	DisableLemma32   bool
+	DisableTheorem31 bool
+	DisableTheorem32 bool
+}
+
+// Result is the outcome of candidate enumeration.
+type Result struct {
+	// ByK maps arity k (≥ 2) to the candidate arc sets (each sorted by
+	// channel ID).
+	ByK map[int][][]model.ChannelID
+	// EliminatedAt records, per channel, the level k at which Theorem
+	// 3.1 removed it (0 = never removed).
+	EliminatedAt map[model.ChannelID]int
+	// SetsTested counts k-subsets examined across all levels.
+	SetsTested int
+	// SetsPruned counts subsets rejected by the lemma/theorem tests.
+	SetsPruned int
+}
+
+// TotalCandidates returns the number of candidate sets across all k.
+func (r *Result) TotalCandidates() int {
+	total := 0
+	for _, sets := range r.ByK {
+		total += len(sets)
+	}
+	return total
+}
+
+// Count returns the number of candidates of arity k.
+func (r *Result) Count(k int) int { return len(r.ByK[k]) }
+
+// MaxArityOf returns the largest k at which the channel appears in a
+// candidate set (0 if it appears in none).
+func (r *Result) MaxArityOf(ch model.ChannelID) int {
+	max := 0
+	for k, sets := range r.ByK {
+		for _, set := range sets {
+			for _, c := range set {
+				if c == ch && k > max {
+					max = k
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Enumerate runs the candidate-generation loop of Figure 2: level k = 2
+// uses Lemma 3.1 on the Γ and Δ matrices; levels k ≥ 3 use Lemma 3.2
+// under the configured reference policy plus the Theorem 3.2 bandwidth
+// test; after each level, arcs appearing in no candidate of that level
+// are eliminated from all higher levels (Theorem 3.1 — their Γ row and
+// column are removed).
+func Enumerate(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*Result, error) {
+	n := cg.NumChannels()
+	if n == 0 {
+		return nil, fmt.Errorf("merging: constraint graph has no channels")
+	}
+	gamma := Gamma(cg)
+	delta := Delta(cg)
+	bw := BandwidthVector(cg)
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist[i] = cg.Distance(model.ChannelID(i))
+	}
+
+	maxK := opt.MaxK
+	if maxK <= 0 || maxK > n {
+		maxK = n
+	}
+
+	res := &Result{
+		ByK:          make(map[int][][]model.ChannelID),
+		EliminatedAt: make(map[model.ChannelID]int),
+	}
+
+	active := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		active = append(active, i)
+	}
+
+	for k := 2; k <= maxK && len(active) >= k; k++ {
+		inCandidate := make(map[int]bool)
+		var sets [][]model.ChannelID
+		abort := false
+
+		forEachSubset(active, k, func(subset []int) bool {
+			res.SetsTested++
+			pruned := false
+			if !opt.DisableTheorem32 && NotMergeableBandwidth(bw, subset, lib) {
+				pruned = true
+			}
+			if !pruned {
+				if k == 2 {
+					if !opt.DisableLemma31 && NotMergeablePair(gamma, delta, subset[0], subset[1]) {
+						pruned = true
+					}
+				} else {
+					if !opt.DisableLemma32 && NotMergeableSet(gamma, delta, subset, opt.Policy, dist) {
+						pruned = true
+					}
+				}
+			}
+			if pruned {
+				res.SetsPruned++
+				return true
+			}
+			ids := make([]model.ChannelID, k)
+			for i, a := range subset {
+				ids[i] = model.ChannelID(a)
+			}
+			sets = append(sets, ids)
+			for _, a := range subset {
+				inCandidate[a] = true
+			}
+			if opt.MaxCandidates > 0 && res.TotalCandidates()+len(sets) > opt.MaxCandidates {
+				abort = true
+				return false
+			}
+			return true
+		})
+		if abort {
+			return nil, fmt.Errorf("merging: candidate cap %d exceeded at k=%d", opt.MaxCandidates, k)
+		}
+		res.ByK[k] = sets
+		if len(sets) == 0 {
+			// No k-way candidates at all: by Theorem 3.1 no arc can join
+			// a larger merging either; the loop terminates.
+			break
+		}
+		if !opt.DisableTheorem31 {
+			var next []int
+			for _, a := range active {
+				if inCandidate[a] {
+					next = append(next, a)
+				} else if res.EliminatedAt[model.ChannelID(a)] == 0 {
+					res.EliminatedAt[model.ChannelID(a)] = k
+				}
+			}
+			active = next
+		}
+	}
+	return res, nil
+}
+
+// forEachSubset invokes fn on every k-subset of items (in lexicographic
+// order of positions). fn returning false aborts the enumeration.
+func forEachSubset(items []int, k int, fn func([]int) bool) {
+	n := len(items)
+	if k > n || k <= 0 {
+		return
+	}
+	idx := make([]int, k)
+	subset := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		for i, pos := range idx {
+			subset[i] = items[pos]
+		}
+		if !fn(subset) {
+			return
+		}
+		// Advance the combination odometer.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

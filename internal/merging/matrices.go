@@ -1,0 +1,100 @@
+// Package merging implements the local-solution generation step of the
+// CDCS algorithm (Section 3): the Constrained Distance Sum Matrix Γ and
+// the Merging Distance Sum Matrix Δ, the non-mergeability conditions of
+// Lemma 3.1, Lemma 3.2 and Theorem 3.2, the Theorem 3.1 arc elimination,
+// and the enumeration of candidate k-way arc mergings (the algorithm of
+// Figure 2).
+package merging
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// SymMatrix is a symmetric matrix over the constraint arcs, stored
+// densely. Diagonal entries are unused (a merging needs at least two
+// distinct arcs) and kept at zero.
+type SymMatrix struct {
+	n    int
+	vals []float64
+}
+
+// NewSymMatrix returns an n×n zero symmetric matrix.
+func NewSymMatrix(n int) *SymMatrix {
+	return &SymMatrix{n: n, vals: make([]float64, n*n)}
+}
+
+// Size returns the matrix dimension.
+func (m *SymMatrix) Size() int { return m.n }
+
+// At returns the (i, j) entry.
+func (m *SymMatrix) At(i, j int) float64 { return m.vals[i*m.n+j] }
+
+// Set writes the (i, j) and (j, i) entries.
+func (m *SymMatrix) Set(i, j int, v float64) {
+	m.vals[i*m.n+j] = v
+	m.vals[j*m.n+i] = v
+}
+
+// Gamma computes the Constrained Distance Sum Matrix of Section 3:
+// Γ(aᵢ, aⱼ) = d(aᵢ) + d(aⱼ). (Table 1 of the paper.)
+func Gamma(cg *model.ConstraintGraph) *SymMatrix {
+	n := cg.NumChannels()
+	m := NewSymMatrix(n)
+	for i := 0; i < n; i++ {
+		di := cg.Distance(model.ChannelID(i))
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, di+cg.Distance(model.ChannelID(j)))
+		}
+	}
+	return m
+}
+
+// Delta computes the Merging Distance Sum Matrix of Section 3:
+// Δ(aᵢ, aⱼ) = ‖p(uᵢ) − p(uⱼ)‖ + ‖p(vᵢ) − p(vⱼ)‖, the summed distances
+// between the two arcs' sources and between their destinations.
+// (Table 2 of the paper.)
+func Delta(cg *model.ConstraintGraph) *SymMatrix {
+	n := cg.NumChannels()
+	norm := cg.Norm()
+	m := NewSymMatrix(n)
+	for i := 0; i < n; i++ {
+		ci := cg.Channel(model.ChannelID(i))
+		for j := i + 1; j < n; j++ {
+			cj := cg.Channel(model.ChannelID(j))
+			du := norm.Distance(cg.Position(ci.From), cg.Position(cj.From))
+			dv := norm.Distance(cg.Position(ci.To), cg.Position(cj.To))
+			m.Set(i, j, du+dv)
+		}
+	}
+	return m
+}
+
+// BandwidthVector returns b(a) for every channel, in channel-ID order
+// (the ComputeBandwidthVector step of Figure 2).
+func BandwidthVector(cg *model.ConstraintGraph) []float64 {
+	n := cg.NumChannels()
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b[i] = cg.Bandwidth(model.ChannelID(i))
+	}
+	return b
+}
+
+// String renders the upper triangle with two decimals, mirroring the
+// layout of the paper's Tables 1 and 2.
+func (m *SymMatrix) String() string {
+	s := ""
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j <= i {
+				s += fmt.Sprintf("%9s", "")
+				continue
+			}
+			s += fmt.Sprintf("%9.2f", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package merging
+
+import (
+	"repro/internal/library"
+)
+
+// The non-mergeability conditions. All are *sufficient* conditions for a
+// set of arcs NOT to be k-way mergeable (Definition 3.1): triggering any
+// of them proves that every merged implementation is dominated by
+// point-to-point (or smaller-merging) implementations, so pruning is
+// always sound. Failing to trigger proves nothing — the surviving
+// candidate sets are priced later and the covering step decides.
+
+// NotMergeablePair is Lemma 3.1: the pair {aᵢ, aⱼ} is not 2-way
+// mergeable when d(aᵢ)+d(aⱼ) ≤ ‖p(uᵢ)−p(uⱼ)‖+‖p(vᵢ)−p(vⱼ)‖, i.e. when
+// Γ(aᵢ,aⱼ) ≤ Δ(aᵢ,aⱼ): the detour through any shared path costs at
+// least as much as the two direct implementations.
+func NotMergeablePair(gamma, delta *SymMatrix, i, j int) bool {
+	return gamma.At(i, j) <= delta.At(i, j)
+}
+
+// NotMergeableRef is Lemma 3.2 with aᵣ as the reference arc: the set
+// {arcs} ∪ {ref} is not k-way mergeable when
+//
+//	(k−1)·d(a_r) + Σᵢ d(aᵢ)  ≤  Σᵢ ‖p(uᵢ)−p(u_r)‖+‖p(vᵢ)−p(v_r)‖
+//
+// which in matrix form is Σᵢ Γ(aᵢ, a_r) ≤ Σᵢ Δ(aᵢ, a_r) over the
+// non-reference arcs aᵢ.
+func NotMergeableRef(gamma, delta *SymMatrix, arcs []int, ref int) bool {
+	var lhs, rhs float64
+	for _, i := range arcs {
+		if i == ref {
+			continue
+		}
+		lhs += gamma.At(i, ref)
+		rhs += delta.At(i, ref)
+	}
+	return lhs <= rhs
+}
+
+// NotMergeableBandwidth is Theorem 3.2: the set is not mergeable when
+// Σ b(aᵢ) ≥ max over library links of b(l) + min over the set of b(aⱼ) —
+// no library link could carry the merged traffic while beating the
+// cheapest arc's stand-alone implementation.
+func NotMergeableBandwidth(bw []float64, arcs []int, lib *library.Library) bool {
+	if len(arcs) == 0 {
+		return false
+	}
+	var sum float64
+	min := bw[arcs[0]]
+	for _, i := range arcs {
+		sum += bw[i]
+		if bw[i] < min {
+			min = bw[i]
+		}
+	}
+	return sum >= lib.MaxBandwidth()+min
+}
+
+// RefPolicy selects how the Lemma 3.2 reference arc is chosen when
+// testing a k-set (k ≥ 3). Lemma 3.2 holds for any reference, so testing
+// more references prunes more sets; all policies are sound.
+type RefPolicy int
+
+const (
+	// AnyRef tests every arc of the set as the reference and prunes if
+	// any test triggers — the strongest sound prune.
+	AnyRef RefPolicy = iota
+	// MaxIndexRef tests only the highest-numbered arc, matching an
+	// incremental implementation that extends sets by appending arcs.
+	MaxIndexRef
+	// MaxDistRef tests only the arc with the largest distance, which
+	// maximizes the (k−1)·d(a_r) term of the left-hand side.
+	MaxDistRef
+	// MinDistRef tests only the arc with the smallest distance.
+	MinDistRef
+)
+
+// String names the policy.
+func (p RefPolicy) String() string {
+	switch p {
+	case AnyRef:
+		return "any-ref"
+	case MaxIndexRef:
+		return "max-index-ref"
+	case MaxDistRef:
+		return "max-dist-ref"
+	case MinDistRef:
+		return "min-dist-ref"
+	default:
+		return "unknown"
+	}
+}
+
+// NotMergeableSet applies Lemma 3.2 under the given reference policy.
+// dist supplies d(a) per arc index (needed by the distance-based
+// policies).
+func NotMergeableSet(gamma, delta *SymMatrix, arcs []int, policy RefPolicy, dist []float64) bool {
+	if len(arcs) < 2 {
+		return false
+	}
+	if len(arcs) == 2 {
+		return NotMergeablePair(gamma, delta, arcs[0], arcs[1])
+	}
+	switch policy {
+	case AnyRef:
+		for _, ref := range arcs {
+			if NotMergeableRef(gamma, delta, arcs, ref) {
+				return true
+			}
+		}
+		return false
+	case MaxIndexRef:
+		ref := arcs[0]
+		for _, i := range arcs {
+			if i > ref {
+				ref = i
+			}
+		}
+		return NotMergeableRef(gamma, delta, arcs, ref)
+	case MaxDistRef:
+		ref := arcs[0]
+		for _, i := range arcs {
+			if dist[i] > dist[ref] {
+				ref = i
+			}
+		}
+		return NotMergeableRef(gamma, delta, arcs, ref)
+	case MinDistRef:
+		ref := arcs[0]
+		for _, i := range arcs {
+			if dist[i] < dist[ref] {
+				ref = i
+			}
+		}
+		return NotMergeableRef(gamma, delta, arcs, ref)
+	default:
+		return false
+	}
+}

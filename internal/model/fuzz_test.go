@@ -1,0 +1,29 @@
+package model
+
+import "testing"
+
+// FuzzDecodeConstraintGraph ensures the JSON decoder never panics and,
+// when it accepts an input, produces a graph that re-validates and
+// re-encodes.
+func FuzzDecodeConstraintGraph(f *testing.F) {
+	f.Add([]byte(`{"norm":"euclidean","ports":[{"name":"u","x":0,"y":0},{"name":"v","x":3,"y":4}],"channels":[{"name":"c","from":"u","to":"v","bandwidth":10}]}`))
+	f.Add([]byte(`{"norm":"manhattan","ports":[],"channels":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"norm":"euclidean","ports":[{"name":"u","x":1e308,"y":-1e308}],"channels":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cg, err := DecodeConstraintGraph(data)
+		if err != nil {
+			return
+		}
+		// Accepted graphs must be internally consistent.
+		if cg.NumChannels() > 0 {
+			if err := cg.Validate(); err != nil {
+				t.Fatalf("accepted graph fails validation: %v", err)
+			}
+		}
+		if _, err := cg.MarshalJSON(); err != nil {
+			t.Fatalf("accepted graph fails to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// clampCoord maps arbitrary quick floats into a sane coordinate range.
+func clampCoord(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e4)
+}
+
+func clampBW(v float64) float64 {
+	v = math.Abs(clampCoord(v))
+	if v < 1e-3 {
+		return 1
+	}
+	return v
+}
+
+// Property: JSON round-trips preserve distances and bandwidths for
+// randomly generated graphs.
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(coords []float64, bws []float64) bool {
+		if len(coords) < 4 || len(bws) == 0 {
+			return true
+		}
+		cg := NewConstraintGraph(geom.Euclidean)
+		var ports []PortID
+		for i := 0; i+1 < len(coords) && len(ports) < 8; i += 2 {
+			ports = append(ports, cg.MustAddPort(Port{
+				Name:     "p" + string(rune('0'+len(ports))),
+				Position: geom.Pt(clampCoord(coords[i]), clampCoord(coords[i+1])),
+			}))
+		}
+		if len(ports) < 2 {
+			return true
+		}
+		added := 0
+		for i, bw := range bws {
+			u := ports[i%len(ports)]
+			v := ports[(i+1)%len(ports)]
+			if u == v {
+				continue
+			}
+			name := "c" + string(rune('0'+added))
+			if _, err := cg.AddChannel(Channel{
+				Name: name, From: u, To: v, Bandwidth: clampBW(bw),
+			}); err == nil {
+				added++
+			}
+			if added >= 8 {
+				break
+			}
+		}
+		if added == 0 {
+			return true
+		}
+		data, err := json.Marshal(cg)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeConstraintGraph(data)
+		if err != nil {
+			return false
+		}
+		if got.NumPorts() != cg.NumPorts() || got.NumChannels() != cg.NumChannels() {
+			return false
+		}
+		for i := 0; i < cg.NumChannels(); i++ {
+			id := ChannelID(i)
+			if math.Abs(got.Distance(id)-cg.Distance(id)) > 1e-9 {
+				return false
+			}
+			if got.Bandwidth(id) != cg.Bandwidth(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Distance is symmetric under channel reversal and consistent
+// with the norm.
+func TestDistanceConsistencyProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2, bw float64) bool {
+		p1 := geom.Pt(clampCoord(x1), clampCoord(y1))
+		p2 := geom.Pt(clampCoord(x2), clampCoord(y2))
+		cg := NewConstraintGraph(geom.Manhattan)
+		u := cg.MustAddPort(Port{Name: "u", Position: p1})
+		v := cg.MustAddPort(Port{Name: "v", Position: p2})
+		if p1.Eq(p2) {
+			return true // self-distance channels carry d=0; fine but skip
+		}
+		fwd := cg.MustAddChannel(Channel{Name: "f", From: u, To: v, Bandwidth: clampBW(bw)})
+		rev := cg.MustAddChannel(Channel{Name: "r", From: v, To: u, Bandwidth: clampBW(bw)})
+		if cg.Distance(fwd) != cg.Distance(rev) {
+			return false
+		}
+		return cg.Distance(fwd) == geom.Manhattan.Distance(p1, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package p2p
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/impl"
+	"repro/internal/library"
+)
+
+// BuildChains materializes a plan between two existing vertices of an
+// implementation graph: it creates the repeater vertices of each chain
+// (evenly spaced between the endpoint positions), instantiates the link
+// arcs, and returns one path per chain. It does not assign the paths to
+// any channel — callers compose them (directly for point-to-point
+// implementations, concatenated with trunk paths for mergings).
+func BuildChains(ig *impl.Graph, from, to graph.VertexID, plan Plan, lib *library.Library, namePrefix string) ([]graph.Path, error) {
+	if plan.Chains < 1 || plan.Segments < 1 {
+		return nil, fmt.Errorf("p2p: malformed plan %+v", plan)
+	}
+	var rep library.Node
+	if plan.Segments > 1 {
+		var ok bool
+		rep, ok = lib.CheapestNode(library.Repeater)
+		if !ok {
+			return nil, fmt.Errorf("p2p: plan needs repeaters but library has none")
+		}
+	}
+	src := ig.Vertex(from).Position
+	dst := ig.Vertex(to).Position
+
+	paths := make([]graph.Path, 0, plan.Chains)
+	for chain := 0; chain < plan.Chains; chain++ {
+		verts := []graph.VertexID{from}
+		for s := 1; s < plan.Segments; s++ {
+			t := float64(s) / float64(plan.Segments)
+			name := fmt.Sprintf("%s.rep%d.%d", namePrefix, chain, s)
+			v, err := ig.AddCommVertex(rep, src.Lerp(dst, t), name)
+			if err != nil {
+				return nil, err
+			}
+			verts = append(verts, v)
+		}
+		verts = append(verts, to)
+		arcs := make([]graph.ArcID, 0, plan.Segments)
+		for i := 1; i < len(verts); i++ {
+			a, err := ig.AddLink(verts[i-1], verts[i], plan.Link)
+			if err != nil {
+				return nil, fmt.Errorf("p2p: %s: %w", namePrefix, err)
+			}
+			arcs = append(arcs, a)
+		}
+		paths = append(paths, graph.Path{Vertices: verts, Arcs: arcs})
+	}
+	return paths, nil
+}

@@ -1,0 +1,221 @@
+// Package p2p implements the optimum point-to-point synthesis of
+// Definitions 2.6–2.7 and Lemma 2.1: each constraint arc is implemented
+// in isolation by the cheapest combination of
+//
+//   - arc matching       — exactly one library link;
+//   - K-way segmentation — K links in series, interleaved by K−1
+//     repeaters, when no single link spans the distance;
+//   - K-way duplication  — K links in parallel, when no single link
+//     provides the bandwidth;
+//   - both combined      — parallel chains of segmented links.
+//
+// Following Definition 2.7, a duplication is a set of parallel paths
+// between the two computational vertices; mux/demux switch costs for
+// duplication can optionally be charged via Options (the paper's
+// introduction mentions the switch pair, its formal definition does not
+// cost it).
+//
+// Segmentation places repeaters at even spacing along the straight
+// segment between the endpoints. Under every built-in norm the straight
+// segment realizes the endpoint distance exactly, so K even segments
+// each measure d/K.
+package p2p
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/impl"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+// Options tunes point-to-point synthesis.
+type Options struct {
+	// ChargeSwitchesOnDuplication adds one demux and one mux node cost
+	// whenever a plan uses more than one parallel chain.
+	ChargeSwitchesOnDuplication bool
+	// MaxSegments bounds K for segmentation; zero means 1<<20. Plans
+	// needing more segments are deemed infeasible.
+	MaxSegments int
+	// MaxChains bounds K for duplication; zero means 1<<20.
+	MaxChains int
+}
+
+func (o Options) maxSegments() int {
+	if o.MaxSegments <= 0 {
+		return 1 << 20
+	}
+	return o.MaxSegments
+}
+
+func (o Options) maxChains() int {
+	if o.MaxChains <= 0 {
+		return 1 << 20
+	}
+	return o.MaxChains
+}
+
+// Plan is the cheapest stand-alone implementation found for one
+// (distance, bandwidth) requirement: Chains parallel chains, each made
+// of Segments equal-length instances of Link joined by repeaters.
+type Plan struct {
+	Link     library.Link
+	Segments int // links per chain (1 = plain matching)
+	Chains   int // parallel chains (1 = no duplication)
+	Cost     float64
+	// Distance and Bandwidth echo the requirement the plan satisfies.
+	Distance, Bandwidth float64
+}
+
+// Kind names the Definition 2.7 structure the plan realizes.
+func (p Plan) Kind() string {
+	switch {
+	case p.Segments == 1 && p.Chains == 1:
+		return "matching"
+	case p.Chains == 1:
+		return "segmentation"
+	case p.Segments == 1:
+		return "duplication"
+	default:
+		return "segmentation+duplication"
+	}
+}
+
+// String renders the plan compactly.
+func (p Plan) String() string {
+	return fmt.Sprintf("%s: %d×%d %s, cost %.3f", p.Kind(), p.Chains, p.Segments, p.Link.Name, p.Cost)
+}
+
+// planFor evaluates the cheapest plan using one specific link type, or
+// ok=false when that type cannot satisfy the requirement.
+func planFor(l library.Link, d, b float64, lib *library.Library, opt Options) (Plan, bool) {
+	if l.Bandwidth <= 0 {
+		return Plan{}, false
+	}
+	chains := 1
+	if l.Bandwidth < b {
+		chains = int(math.Ceil(b/l.Bandwidth - 1e-12))
+		if chains > opt.maxChains() {
+			return Plan{}, false
+		}
+	}
+	segments := 1
+	if !l.CanSpan(d) {
+		if l.MaxSpan <= 0 {
+			return Plan{}, false
+		}
+		segments = int(math.Ceil(d/l.MaxSpan - 1e-12))
+		if segments < 1 {
+			segments = 1
+		}
+		if segments > opt.maxSegments() {
+			return Plan{}, false
+		}
+	}
+	repCost := 0.0
+	if segments > 1 {
+		repCost = lib.NodeCost(library.Repeater)
+		if math.IsInf(repCost, 1) {
+			return Plan{}, false // segmentation impossible without repeaters
+		}
+	}
+	chainCost := float64(segments)*l.CostFixed + l.CostPerLength*d + float64(segments-1)*repCost
+	total := float64(chains) * chainCost
+	if chains > 1 && opt.ChargeSwitchesOnDuplication {
+		demux := lib.NodeCost(library.Demux)
+		mux := lib.NodeCost(library.Mux)
+		if math.IsInf(demux, 1) || math.IsInf(mux, 1) {
+			return Plan{}, false
+		}
+		total += demux + mux
+	}
+	return Plan{
+		Link:      l,
+		Segments:  segments,
+		Chains:    chains,
+		Cost:      total,
+		Distance:  d,
+		Bandwidth: b,
+	}, true
+}
+
+// BestPlan returns the minimum-cost stand-alone implementation of a
+// requirement (distance d, bandwidth b) over all library link types, per
+// the four-step recipe below Definition 2.7. It returns an error when no
+// link type can satisfy the requirement within the option bounds.
+func BestPlan(d, b float64, lib *library.Library, opt Options) (Plan, error) {
+	if d < 0 || math.IsNaN(d) {
+		return Plan{}, fmt.Errorf("p2p: invalid distance %g", d)
+	}
+	if b <= 0 || math.IsNaN(b) {
+		return Plan{}, fmt.Errorf("p2p: invalid bandwidth %g", b)
+	}
+	var best Plan
+	found := false
+	for _, l := range lib.Links {
+		p, ok := planFor(l, d, b, lib, opt)
+		if !ok {
+			continue
+		}
+		if !found || p.Cost < best.Cost {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("p2p: no library link satisfies d=%g b=%g", d, b)
+	}
+	return best, nil
+}
+
+// Instantiate materializes a plan for channel ch into the implementation
+// graph: it creates the repeater vertices and link instances and records
+// the resulting path set P(a).
+func Instantiate(ig *impl.Graph, ch model.ChannelID, plan Plan, lib *library.Library) error {
+	cg := ig.ConstraintGraph()
+	c := cg.Channel(ch)
+	paths, err := BuildChains(ig, graph.VertexID(c.From), graph.VertexID(c.To), plan, lib, c.Name)
+	if err != nil {
+		return fmt.Errorf("p2p: channel %q: %w", c.Name, err)
+	}
+	ig.AssignImplementation(ch, paths)
+	return nil
+}
+
+// Synthesize builds the optimum point-to-point implementation graph of
+// Definition 2.6: every constraint arc implemented independently at
+// minimum cost, with pairwise-disjoint arc implementations. It returns
+// the graph together with the per-channel plans; per Lemma 2.1 the graph
+// cost equals the sum of the plan costs.
+func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*impl.Graph, []Plan, error) {
+	if err := cg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ig := impl.New(cg)
+	plans := make([]Plan, cg.NumChannels())
+	for i := 0; i < cg.NumChannels(); i++ {
+		ch := model.ChannelID(i)
+		plan, err := BestPlan(cg.Distance(ch), cg.Bandwidth(ch), lib, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("p2p: channel %q: %w", cg.Channel(ch).Name, err)
+		}
+		if err := Instantiate(ig, ch, plan, lib); err != nil {
+			return nil, nil, err
+		}
+		plans[i] = plan
+	}
+	return ig, plans, nil
+}
+
+// TotalCost sums the plan costs, the right-hand side of Lemma 2.1.
+func TotalCost(plans []Plan) float64 {
+	var sum float64
+	for _, p := range plans {
+		sum += p.Cost
+	}
+	return sum
+}

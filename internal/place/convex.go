@@ -1,0 +1,88 @@
+package place
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/library"
+)
+
+// convexSeed solves the hub-placement problem exactly when the library
+// is purely length-priced (every link unbounded with zero fixed cost):
+// then the candidate cost is
+//
+//	c(x₁,x₂) = Σᵢ wᵢ·‖uᵢ−x₁‖ + w_t·‖x₁−x₂‖ + Σᵢ wᵢ·‖x₂−vᵢ‖ + const
+//
+// with distance-independent weights (wᵢ = cheapest per-length rate that
+// carries bandwidth bᵢ, duplication included; w_t likewise for the
+// single-chain trunk). The objective is jointly convex, and block
+// minimization over x₁ (a weighted median of the sources plus x₂) and
+// x₂ (a weighted median of the destinations plus x₁) converges to the
+// global optimum.
+//
+// The second return is false when the library is not purely
+// length-priced or the trunk bandwidth is infeasible; callers then fall
+// back to the general pattern search.
+func convexSeed(
+	norm geom.Norm, lib *library.Library,
+	sources, dests []geom.Point, bws []float64, trunkBW float64,
+	opt Options,
+) ([2]geom.Point, bool) {
+	for _, l := range lib.Links {
+		if !l.Unbounded() || l.CostFixed != 0 {
+			return [2]geom.Point{}, false
+		}
+	}
+	rate := func(b float64, singleChain bool) (float64, bool) {
+		best := math.Inf(1)
+		for _, l := range lib.Links {
+			chains := 1
+			if l.Bandwidth < b {
+				if singleChain {
+					continue
+				}
+				chains = int(math.Ceil(b/l.Bandwidth - 1e-12))
+			}
+			if r := float64(chains) * l.CostPerLength; r < best {
+				best = r
+			}
+		}
+		return best, !math.IsInf(best, 1)
+	}
+	weights := make([]float64, len(bws))
+	for i, b := range bws {
+		w, ok := rate(b, false)
+		if !ok {
+			return [2]geom.Point{}, false
+		}
+		weights[i] = w
+	}
+	wTrunk, ok := rate(trunkBW, true)
+	if !ok {
+		return [2]geom.Point{}, false
+	}
+
+	// A loose per-median iteration budget: the pattern-search polish in
+	// Optimize absorbs the residual tolerance, so the alternation only
+	// needs to get close.
+	mopt := geom.MedianOptions{MaxIter: 60}
+	x1 := geom.WeightedMedian(norm, sources, weights, mopt)
+	x2 := geom.WeightedMedian(norm, dests, weights, mopt)
+	bb := geom.Bounds(append(append([]geom.Point(nil), sources...), dests...))
+	tol := 1e-6 * math.Max(1, math.Max(bb.Width(), bb.Height()))
+	srcSites := append(append([]geom.Point(nil), sources...), x2)
+	dstSites := append(append([]geom.Point(nil), dests...), x1)
+	wAll := append(append([]float64(nil), weights...), wTrunk)
+	for iter := 0; iter < 40; iter++ {
+		srcSites[len(srcSites)-1] = x2
+		nx1 := geom.WeightedMedian(norm, srcSites, wAll, mopt)
+		dstSites[len(dstSites)-1] = nx1
+		nx2 := geom.WeightedMedian(norm, dstSites, wAll, mopt)
+		moved := norm.Distance(nx1, x1) + norm.Distance(nx2, x2)
+		x1, x2 = nx1, nx2
+		if moved < tol {
+			break
+		}
+	}
+	return [2]geom.Point{x1, x2}, true
+}

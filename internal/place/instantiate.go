@@ -1,0 +1,82 @@
+package place
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/impl"
+	"repro/internal/library"
+	"repro/internal/p2p"
+)
+
+// Instantiate materializes the candidate into an implementation graph:
+// it creates the mux and demux communication vertices, the shared trunk
+// chain (the common path q* of Definition 2.8), and per-channel access
+// chains, and records each channel's path set.
+//
+// When an access plan is duplicated (multiple chains), the channel gets
+// one path per chain, all sharing the trunk; mismatched in/out chain
+// counts are paired round-robin, which is safe because the bandwidth
+// check in impl.Verify accounts for shared links exactly once.
+func (cand *Candidate) Instantiate(ig *impl.Graph, lib *library.Library) error {
+	cg := ig.ConstraintGraph()
+	tag := fmt.Sprintf("merge%v", cand.Channels)
+
+	mux, err := ig.AddCommVertex(cand.MuxNode, cand.MuxPos, tag+".mux")
+	if err != nil {
+		return err
+	}
+	demux, err := ig.AddCommVertex(cand.DemuxNode, cand.DemuxPos, tag+".demux")
+	if err != nil {
+		return err
+	}
+	trunkPaths, err := p2p.BuildChains(ig, mux, demux, cand.TrunkPlan, lib, tag+".trunk")
+	if err != nil {
+		return err
+	}
+	if len(trunkPaths) != 1 {
+		return fmt.Errorf("place: trunk must be a single chain, got %d", len(trunkPaths))
+	}
+	trunk := trunkPaths[0]
+
+	for i, ch := range cand.Channels {
+		c := cg.Channel(ch)
+		inPaths, err := p2p.BuildChains(ig, graph.VertexID(c.From), mux, cand.AccessIn[i],
+			lib, fmt.Sprintf("%s.%s.in", tag, c.Name))
+		if err != nil {
+			return err
+		}
+		outPaths, err := p2p.BuildChains(ig, demux, graph.VertexID(c.To), cand.AccessOut[i],
+			lib, fmt.Sprintf("%s.%s.out", tag, c.Name))
+		if err != nil {
+			return err
+		}
+		n := len(inPaths)
+		if len(outPaths) > n {
+			n = len(outPaths)
+		}
+		paths := make([]graph.Path, 0, n)
+		for j := 0; j < n; j++ {
+			in := inPaths[j%len(inPaths)]
+			out := outPaths[j%len(outPaths)]
+			paths = append(paths, concatPaths(in, trunk, out))
+		}
+		ig.AssignImplementation(ch, paths)
+	}
+	return nil
+}
+
+// concatPaths joins consecutive paths a→b→c where a ends at b's start
+// and b ends at c's start.
+func concatPaths(parts ...graph.Path) graph.Path {
+	var out graph.Path
+	for i, p := range parts {
+		if i == 0 {
+			out.Vertices = append(out.Vertices, p.Vertices...)
+		} else {
+			out.Vertices = append(out.Vertices, p.Vertices[1:]...)
+		}
+		out.Arcs = append(out.Arcs, p.Arcs...)
+	}
+	return out
+}

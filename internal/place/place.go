@@ -1,0 +1,247 @@
+// Package place solves the per-candidate "simple nonlinear optimization
+// problem" of Section 3: given a set of constraint arcs chosen for a
+// k-way merging, find the positions of the merging communication
+// vertices and the resulting candidate cost.
+//
+// The candidate structure follows the paper's composition rules: a
+// multiplexer vertex at position x₁ collects the k channels from their
+// source ports, a single shared trunk (the common path q* of Definition
+// 2.8) carries the combined traffic to a de-multiplexer vertex at x₂,
+// and access links deliver each channel to its destination port. Every
+// piece (access links and trunk) is itself implemented point-to-point by
+// the p2p package, so a long trunk is transparently segmented with
+// repeaters and a fat access leg transparently duplicated.
+//
+// The optimization over (x₁, x₂) ∈ R⁴ is a multistart pattern search on
+// the exact cost function. For length-priced libraries the objective is
+// a weighted sum of norms — jointly convex — so the search converges to
+// the global optimum; for fixed-priced (step-cost) libraries the result
+// is the best point among the explored pattern, which is the classical
+// engineering treatment of such piecewise-constant costs.
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/library"
+	"repro/internal/model"
+	"repro/internal/p2p"
+)
+
+// Options tunes candidate placement.
+type Options struct {
+	// P2P configures the embedded point-to-point planner.
+	P2P p2p.Options
+	// MaxIter bounds pattern-search iterations per start; zero means 120.
+	MaxIter int
+	// Capacity selects how the trunk is sized: the sum of merged
+	// bandwidths (default, matching the paper's multiplexer description)
+	// or their maximum (the literal Definition 2.8 bound, for ablation).
+	Capacity TrunkCapacity
+}
+
+// TrunkCapacity selects the trunk sizing rule.
+type TrunkCapacity int
+
+const (
+	// SumBandwidth sizes the trunk for Σ b(aᵢ).
+	SumBandwidth TrunkCapacity = iota
+	// MaxBandwidth sizes the trunk for max b(aᵢ).
+	MaxBandwidth
+)
+
+func (o Options) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 120
+	}
+	return o.MaxIter
+}
+
+// Candidate is a priced k-way merging: the optimized hub positions, the
+// plans for every piece, and the total cost (including the mux and demux
+// node costs).
+type Candidate struct {
+	Channels  []model.ChannelID
+	MuxPos    geom.Point
+	DemuxPos  geom.Point
+	TrunkPlan p2p.Plan
+	// AccessIn[i] implements source→mux for Channels[i]; AccessOut[i]
+	// implements demux→destination.
+	AccessIn  []p2p.Plan
+	AccessOut []p2p.Plan
+	// MuxNode and DemuxNode are the library nodes instantiated at the
+	// hubs.
+	MuxNode, DemuxNode library.Node
+	Cost               float64
+}
+
+// Optimize prices the merging of the given channels (k ≥ 2) over the
+// library, returning the best candidate found. It returns an error when
+// the merging is infeasible: the library lacks mux/demux nodes, or no
+// single link chain can carry the combined trunk traffic.
+func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.ChannelID, opt Options) (*Candidate, error) {
+	if len(channels) < 2 {
+		return nil, fmt.Errorf("place: merging needs at least 2 channels, got %d", len(channels))
+	}
+	mux, okM := lib.CheapestNode(library.Mux)
+	demux, okD := lib.CheapestNode(library.Demux)
+	if !okM || !okD {
+		return nil, fmt.Errorf("place: library lacks mux/demux nodes; merging unavailable")
+	}
+
+	sources := make([]geom.Point, len(channels))
+	dests := make([]geom.Point, len(channels))
+	bws := make([]float64, len(channels))
+	var trunkBW float64
+	for i, ch := range channels {
+		c := cg.Channel(ch)
+		sources[i] = cg.Position(c.From)
+		dests[i] = cg.Position(c.To)
+		bws[i] = c.Bandwidth
+		if opt.Capacity == MaxBandwidth {
+			trunkBW = math.Max(trunkBW, c.Bandwidth)
+		} else {
+			trunkBW += c.Bandwidth
+		}
+	}
+
+	norm := cg.Norm()
+	// Trunk: single chain so all merged channels share one common path
+	// (Definition 2.8's q*).
+	trunkOpt := opt.P2P
+	trunkOpt.MaxChains = 1
+
+	// eval prices the structure at given hub positions without building
+	// the full candidate (the search calls it thousands of times).
+	eval := func(x1, x2 geom.Point) float64 {
+		trunk, err := p2p.BestPlan(norm.Distance(x1, x2), trunkBW, lib, trunkOpt)
+		if err != nil {
+			return math.Inf(1)
+		}
+		total := mux.Cost + demux.Cost + trunk.Cost
+		for i := range channels {
+			in, err := p2p.BestPlan(norm.Distance(sources[i], x1), bws[i], lib, opt.P2P)
+			if err != nil {
+				return math.Inf(1)
+			}
+			out, err := p2p.BestPlan(norm.Distance(x2, dests[i]), bws[i], lib, opt.P2P)
+			if err != nil {
+				return math.Inf(1)
+			}
+			total += in.Cost + out.Cost
+		}
+		return total
+	}
+	// build constructs the full candidate at the chosen positions.
+	build := func(x1, x2 geom.Point) (*Candidate, error) {
+		cand := &Candidate{
+			Channels:  append([]model.ChannelID(nil), channels...),
+			MuxPos:    x1,
+			DemuxPos:  x2,
+			MuxNode:   mux,
+			DemuxNode: demux,
+		}
+		trunk, err := p2p.BestPlan(norm.Distance(x1, x2), trunkBW, lib, trunkOpt)
+		if err != nil {
+			return nil, err
+		}
+		cand.TrunkPlan = trunk
+		total := mux.Cost + demux.Cost + trunk.Cost
+		for i := range channels {
+			in, err := p2p.BestPlan(norm.Distance(sources[i], x1), bws[i], lib, opt.P2P)
+			if err != nil {
+				return nil, err
+			}
+			out, err := p2p.BestPlan(norm.Distance(x2, dests[i]), bws[i], lib, opt.P2P)
+			if err != nil {
+				return nil, err
+			}
+			cand.AccessIn = append(cand.AccessIn, in)
+			cand.AccessOut = append(cand.AccessOut, out)
+			total += in.Cost + out.Cost
+		}
+		cand.Cost = total
+		return cand, nil
+	}
+
+	bb := geom.Bounds(append(append([]geom.Point(nil), sources...), dests...))
+	initStep := math.Max(bb.Width(), bb.Height())
+	if initStep == 0 {
+		initStep = 1
+	}
+
+	bestCost := math.Inf(1)
+	var bestX1, bestX2 geom.Point
+
+	// Fast path: with a pure length-priced library the objective is a
+	// jointly convex weighted sum of norms, solved directly by
+	// alternating weighted medians; a short small-step polish absorbs
+	// the iteration tolerance.
+	if seed, ok := convexSeed(norm, lib, sources, dests, bws, trunkBW, opt); ok {
+		bestCost, bestX1, bestX2 = patternSearch(eval, seed[0], seed[1], initStep*0.02, 20)
+	} else {
+		// General path: multistart pattern search from the endpoint
+		// medians, centroids, and each channel's own endpoints.
+		starts := [][2]geom.Point{
+			{geom.WeightedMedian(norm, sources, bws, geom.MedianOptions{}),
+				geom.WeightedMedian(norm, dests, bws, geom.MedianOptions{})},
+			{geom.Centroid(sources), geom.Centroid(dests)},
+		}
+		for i := range sources {
+			starts = append(starts, [2]geom.Point{sources[i], dests[i]})
+		}
+		for _, s := range starts {
+			if c, x1, x2 := patternSearch(eval, s[0], s[1], initStep, opt.maxIter()); c < bestCost {
+				bestCost, bestX1, bestX2 = c, x1, x2
+			}
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return nil, fmt.Errorf("place: merging of %d channels infeasible (trunk bandwidth %.6g exceeds every library chain)",
+			len(channels), trunkBW)
+	}
+	return build(bestX1, bestX2)
+}
+
+// patternSearch minimizes eval over the two hub positions with a
+// shrinking compass pattern. It moves one hub at a time through the
+// eight compass directions plus joint translations, returning the best
+// cost and positions found.
+func patternSearch(
+	eval func(geom.Point, geom.Point) float64,
+	x1, x2 geom.Point, step float64, maxIter int,
+) (float64, geom.Point, geom.Point) {
+	bestCost := eval(x1, x2)
+	if math.IsInf(bestCost, 1) {
+		return bestCost, x1, x2
+	}
+	dirs := []geom.Point{
+		{X: 1}, {X: -1}, {Y: 1}, {Y: -1},
+		{X: 1, Y: 1}, {X: 1, Y: -1}, {X: -1, Y: 1}, {X: -1, Y: -1},
+	}
+	tol := step * 1e-7
+	for iter := 0; iter < maxIter && step > tol; iter++ {
+		improved := false
+		for _, d := range dirs {
+			delta := d.Scale(step)
+			moves := [][2]geom.Point{
+				{x1.Add(delta), x2},            // move mux
+				{x1, x2.Add(delta)},            // move demux
+				{x1.Add(delta), x2.Add(delta)}, // translate both
+			}
+			for _, m := range moves {
+				if c := eval(m[0], m[1]); c < bestCost-1e-12 {
+					bestCost = c
+					x1, x2 = m[0], m[1]
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return bestCost, x1, x2
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarkdownTable renders rows under headers as a GitHub-flavored
+// Markdown table.
+func MarkdownTable(headers []string, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(escapeMarkdownCell(c))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MarkdownRecords renders paper-vs-measured records as a Markdown table
+// with bold verdicts.
+func MarkdownRecords(records []Record) string {
+	rows := make([][]string, len(records))
+	for i, r := range records {
+		verdict := "**OK**"
+		if !r.Match {
+			verdict = "**DIFF**"
+		}
+		rows[i] = []string{r.Experiment, r.Metric, r.Paper, r.Measured, verdict, r.Note}
+	}
+	return MarkdownTable([]string{"experiment", "metric", "paper", "measured", "verdict", "note"}, rows)
+}
+
+// MarkdownSection renders one experiment as a Markdown section: title,
+// fenced detail block, and the records table.
+func MarkdownSection(id, title, text string, records []Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", id, title)
+	if text != "" {
+		b.WriteString("```\n")
+		b.WriteString(strings.TrimRight(text, "\n"))
+		b.WriteString("\n```\n\n")
+	}
+	b.WriteString(MarkdownRecords(records))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func escapeMarkdownCell(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownTable(t *testing.T) {
+	out := MarkdownTable([]string{"k", "count"}, [][]string{{"2", "13"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "| k |") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "| 2 | 13 |") {
+		t.Errorf("row wrong: %q", lines[2])
+	}
+}
+
+func TestMarkdownEscaping(t *testing.T) {
+	out := MarkdownTable([]string{"v"}, [][]string{{"a|b\nc"}})
+	if !strings.Contains(out, `a\|b c`) {
+		t.Errorf("pipe/newline not escaped:\n%s", out)
+	}
+}
+
+func TestMarkdownRecords(t *testing.T) {
+	out := MarkdownRecords([]Record{
+		{Experiment: "E1", Metric: "m", Paper: "1", Measured: "1", Match: true},
+		{Experiment: "E2", Metric: "n", Paper: "2", Measured: "3", Match: false},
+	})
+	if !strings.Contains(out, "**OK**") || !strings.Contains(out, "**DIFF**") {
+		t.Errorf("verdicts missing:\n%s", out)
+	}
+}
+
+func TestMarkdownSection(t *testing.T) {
+	out := MarkdownSection("E1", "Title", "detail\n", []Record{
+		{Experiment: "E1", Metric: "m", Paper: "1", Measured: "1", Match: true},
+	})
+	for _, want := range []string{"## E1 — Title", "```\ndetail\n```", "| experiment |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("section missing %q:\n%s", want, out)
+		}
+	}
+	// Empty text omits the fence.
+	noText := MarkdownSection("E2", "T", "", nil)
+	if strings.Contains(noText, "```") {
+		t.Errorf("empty detail should omit fence:\n%s", noText)
+	}
+}

@@ -1,0 +1,110 @@
+// Package report renders the experiment outputs: upper-triangular
+// matrices in the layout of the paper's Tables 1–2, generic aligned
+// text tables, and paper-vs-measured comparison records for
+// EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UpperTriangle renders a symmetric matrix the way the paper prints its
+// tables: column headers, one row per entity, and only the upper
+// triangle filled (two decimals).
+func UpperTriangle(names []string, at func(i, j int) float64) string {
+	n := len(names)
+	width := 9
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "")
+	for _, name := range names {
+		fmt.Fprintf(&b, "%*s", width, name)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-6s", names[i])
+		for j := 0; j < n; j++ {
+			if j <= i {
+				fmt.Fprintf(&b, "%*s", width, "")
+				continue
+			}
+			fmt.Fprintf(&b, "%*.2f", width, at(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders rows of cells under headers, left-aligned, columns sized
+// to their widest cell.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Record is one paper-vs-measured comparison.
+type Record struct {
+	// Experiment identifies the artifact ("E1 / Table 1").
+	Experiment string
+	// Metric names the compared quantity.
+	Metric string
+	// Paper is the published value; Measured is ours.
+	Paper, Measured string
+	// Match reports whether the acceptance criterion held.
+	Match bool
+	// Note carries deviations or context.
+	Note string
+}
+
+// FormatRecords renders comparison records as an aligned table with an
+// OK/DIFF verdict column.
+func FormatRecords(records []Record) string {
+	rows := make([][]string, len(records))
+	for i, r := range records {
+		verdict := "OK"
+		if !r.Match {
+			verdict = "DIFF"
+		}
+		rows[i] = []string{r.Experiment, r.Metric, r.Paper, r.Measured, verdict, r.Note}
+	}
+	return Table([]string{"experiment", "metric", "paper", "measured", "verdict", "note"}, rows)
+}
+
+// AllMatch reports whether every record matched.
+func AllMatch(records []Record) bool {
+	for _, r := range records {
+		if !r.Match {
+			return false
+		}
+	}
+	return true
+}

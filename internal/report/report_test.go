@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUpperTriangle(t *testing.T) {
+	names := []string{"a1", "a2", "a3"}
+	vals := [3][3]float64{{0, 1.5, 2.25}, {0, 0, 3.125}, {0, 0, 0}}
+	out := UpperTriangle(names, func(i, j int) float64 { return vals[i][j] })
+	for _, want := range []string{"a1", "a2", "a3", "1.50", "2.25", "3.12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Lower triangle must not appear: value 0.00 should never be printed.
+	if strings.Contains(out, "0.00") {
+		t.Errorf("lower triangle leaked:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Errorf("got %d lines, want 4", len(lines))
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"k", "count"}, [][]string{{"2", "13"}, {"3", "21"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "k") || !strings.Contains(lines[0], "count") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+}
+
+func TestFormatRecords(t *testing.T) {
+	recs := []Record{
+		{Experiment: "E1", Metric: "gamma", Paper: "10.38", Measured: "10.38", Match: true},
+		{Experiment: "E4", Metric: "5-way", Paper: "5", Measured: "6", Match: false, Note: "superset"},
+	}
+	out := FormatRecords(recs)
+	if !strings.Contains(out, "OK") || !strings.Contains(out, "DIFF") {
+		t.Errorf("verdicts missing:\n%s", out)
+	}
+	if !strings.Contains(out, "superset") {
+		t.Errorf("note missing:\n%s", out)
+	}
+	if AllMatch(recs) {
+		t.Error("AllMatch should be false")
+	}
+	if !AllMatch(recs[:1]) {
+		t.Error("AllMatch should be true for the first record")
+	}
+}

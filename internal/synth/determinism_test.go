@@ -1,0 +1,59 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestSynthesisDeterministic: identical inputs must produce identical
+// architectures — same cost, same selected candidate sets, same
+// implementation-graph shape. EDA flows are rerun constantly; a
+// non-deterministic synthesizer is not adoptable.
+func TestSynthesisDeterministic(t *testing.T) {
+	lib := workloads.WANLibrary()
+	run := func() (float64, string, int, int) {
+		cg := workloads.WAN()
+		ig, rep, err := Synthesize(cg, lib, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := ""
+		for _, c := range rep.SelectedCandidates() {
+			sig += fmt.Sprintf("%s%v|", c.Kind, c.Channels)
+		}
+		return rep.Cost, sig, ig.NumVertices(), ig.NumLinks()
+	}
+	c1, s1, v1, l1 := run()
+	c2, s2, v2, l2 := run()
+	if c1 != c2 || s1 != s2 || v1 != v2 || l1 != l2 {
+		t.Errorf("non-deterministic synthesis:\nrun1: %v %s %d %d\nrun2: %v %s %d %d",
+			c1, s1, v1, l1, c2, s2, v2, l2)
+	}
+}
+
+// TestRandomInstanceDeterministic repeats the check on a random
+// clustered instance where more candidates compete.
+func TestRandomInstanceDeterministic(t *testing.T) {
+	lib := workloads.WANLibrary()
+	build := func() (float64, string) {
+		cg := workloads.RandomWAN(workloads.RandomWANConfig{
+			Seed: 77, Clusters: 3, Channels: 9,
+		})
+		_, rep, err := Synthesize(cg, lib, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := ""
+		for _, c := range rep.SelectedCandidates() {
+			sig += fmt.Sprintf("%s%v|", c.Kind, c.Channels)
+		}
+		return rep.Cost, sig
+	}
+	c1, s1 := build()
+	c2, s2 := build()
+	if c1 != c2 || s1 != s2 {
+		t.Errorf("non-deterministic: %v %s vs %v %s", c1, s1, c2, s2)
+	}
+}

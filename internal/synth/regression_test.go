@@ -1,0 +1,107 @@
+package synth
+
+// Golden regression suite: canonical instances with their expected
+// synthesis outcomes (optimal cost, point-to-point baseline, and the
+// selected merge sets), frozen in testdata/golden.json. Any algorithmic
+// change that shifts an optimum — intended or not — trips this suite
+// and forces a conscious regeneration of the goldens.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/library"
+	"repro/internal/merging"
+	"repro/internal/model"
+	"repro/internal/soc"
+	"repro/internal/workloads"
+)
+
+type goldenCase struct {
+	Name       string     `json:"name"`
+	Cost       float64    `json:"cost"`
+	P2PCost    float64    `json:"p2pCost"`
+	MergedSets [][]string `json:"mergedSets"`
+}
+
+func goldenInstance(name string) (*model.ConstraintGraph, *library.Library, bool) {
+	switch name {
+	case "wan":
+		return workloads.WAN(), workloads.WANLibrary(), true
+	case "lan":
+		return workloads.LAN(), workloads.LANLibrary(), true
+	case "mcm":
+		return workloads.MCM(), workloads.MCMLibrary(), true
+	case "random-wan-21":
+		return workloads.RandomWAN(workloads.RandomWANConfig{
+			Seed: 21, Clusters: 3, Channels: 8,
+		}), workloads.WANLibrary(), true
+	case "noc":
+		return workloads.NoC(), workloads.NoCLibrary(), true
+	case "random-soc-9":
+		return workloads.RandomSoC(workloads.RandomSoCConfig{
+			Seed: 9, Modules: 6, Channels: 7,
+		}), soc.Tech180nm().Library(), true
+	}
+	return nil, nil, false
+}
+
+func TestGoldenRegressions(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatalf("read goldens: %v", err)
+	}
+	var cases []goldenCase
+	if err := json.Unmarshal(data, &cases); err != nil {
+		t.Fatalf("decode goldens: %v", err)
+	}
+	if len(cases) < 5 {
+		t.Fatalf("only %d golden cases", len(cases))
+	}
+	for _, gc := range cases {
+		gc := gc
+		t.Run(gc.Name, func(t *testing.T) {
+			cg, lib, ok := goldenInstance(gc.Name)
+			if !ok {
+				t.Fatalf("unknown golden instance %q", gc.Name)
+			}
+			_, rep, err := Synthesize(cg, lib, Options{
+				Merging: merging.Options{Policy: merging.MaxIndexRef, MaxK: 4},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Costs are deterministic; a tight relative tolerance guards
+			// against platform float noise only.
+			if rel := math.Abs(rep.Cost-gc.Cost) / math.Max(1, gc.Cost); rel > 1e-9 {
+				t.Errorf("cost = %.9f, golden %.9f", rep.Cost, gc.Cost)
+			}
+			if rel := math.Abs(rep.P2PCost-gc.P2PCost) / math.Max(1, gc.P2PCost); rel > 1e-9 {
+				t.Errorf("p2p = %.9f, golden %.9f", rep.P2PCost, gc.P2PCost)
+			}
+			var got [][]string
+			for _, cand := range rep.SelectedCandidates() {
+				if cand.Kind != "merge" {
+					continue
+				}
+				var names []string
+				for _, ch := range cand.Channels {
+					names = append(names, cg.Channel(ch).Name)
+				}
+				sort.Strings(names)
+				got = append(got, names)
+			}
+			sort.Slice(got, func(i, j int) bool {
+				return fmt.Sprint(got[i]) < fmt.Sprint(got[j])
+			})
+			if fmt.Sprint(got) != fmt.Sprint(gc.MergedSets) {
+				t.Errorf("merged sets = %v, golden %v", got, gc.MergedSets)
+			}
+		})
+	}
+}

@@ -1,0 +1,290 @@
+// Package synth is the core of the reproduction: the end-to-end
+// constraint-driven communication synthesis flow of the paper.
+//
+// Given a communication constraint graph and a communication library it
+// runs the two-step algorithm of Section 3:
+//
+//  1. Local solution generation — the optimum point-to-point
+//     implementation of every constraint arc (p2p), plus all candidate
+//     k-way arc mergings that survive the Lemma 3.1 / Lemma 3.2 /
+//     Theorem 3.1 / Theorem 3.2 prunes (merging), each priced by the
+//     nonlinear placement optimization (place);
+//  2. Global solution derivation — a weighted Unate Covering Problem
+//     over the candidate set (ucp), whose optimum selects the subset of
+//     candidates forming the minimum-cost implementation graph.
+//
+// The selected candidates are then materialized into an implementation
+// graph (impl) that satisfies every constraint of Definition 2.4.
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/impl"
+	"repro/internal/library"
+	"repro/internal/merging"
+	"repro/internal/model"
+	"repro/internal/p2p"
+	"repro/internal/place"
+	"repro/internal/ucp"
+)
+
+// SolverKind selects the covering solver.
+type SolverKind int
+
+const (
+	// ExactSolver is the branch-and-bound UCP solver (default).
+	ExactSolver SolverKind = iota
+	// GreedySolver is the weight-per-row heuristic, for comparison runs.
+	GreedySolver
+)
+
+// Options configures the full flow.
+type Options struct {
+	// P2P configures point-to-point planning.
+	P2P p2p.Options
+	// Merging configures candidate enumeration.
+	Merging merging.Options
+	// Place configures candidate placement/pricing.
+	Place place.Options
+	// Solver selects the covering solver.
+	Solver SolverKind
+	// KeepDominated keeps merging candidates that cost at least as much
+	// as their channels' summed point-to-point implementations. The
+	// paper discards these ("the algorithm discards all the sub-optimal
+	// local solutions"); keeping them only grows the covering instance.
+	KeepDominated bool
+}
+
+// Candidate describes one local solution considered by the covering
+// step.
+type Candidate struct {
+	// Channels are the constraint arcs this candidate implements.
+	Channels []model.ChannelID
+	// Kind is "p2p" for single-arc candidates, "merge" for k-way
+	// mergings.
+	Kind string
+	// Cost is the candidate's weight in the covering instance.
+	Cost float64
+	// Plan is set for p2p candidates.
+	Plan *p2p.Plan
+	// Merge is set for merging candidates.
+	Merge *place.Candidate
+	// Selected marks candidates chosen by the covering optimum.
+	Selected bool
+}
+
+// Report summarizes a synthesis run.
+type Report struct {
+	// Cost is the optimal implementation-graph cost found.
+	Cost float64
+	// P2PCost is the optimum point-to-point implementation graph cost
+	// (Definition 2.6), the paper's implicit baseline.
+	P2PCost float64
+	// Candidates lists every priced local solution.
+	Candidates []Candidate
+	// Enumeration carries the per-k candidate sets and Theorem 3.1
+	// eliminations from the merging step.
+	Enumeration *merging.Result
+	// PricedMergings counts mergings that survived pricing;
+	// InfeasibleMergings counts those the placement step rejected;
+	// DominatedMergings counts those dropped as costlier than their
+	// point-to-point alternative.
+	PricedMergings     int
+	InfeasibleMergings int
+	DominatedMergings  int
+	// UCPStats carries covering-solver counters.
+	UCPStats ucp.Stats
+	// SolverOptimal is true when the covering solver proved optimality.
+	SolverOptimal bool
+	// Elapsed is the wall-clock synthesis time.
+	Elapsed time.Duration
+}
+
+// SavingsPercent returns how much cheaper the synthesized architecture
+// is than the optimum point-to-point implementation graph, in percent.
+func (r *Report) SavingsPercent() float64 {
+	if r.P2PCost == 0 {
+		return 0
+	}
+	return 100 * (1 - r.Cost/r.P2PCost)
+}
+
+// SelectedCandidates returns the candidates chosen by the optimum.
+func (r *Report) SelectedCandidates() []Candidate {
+	var out []Candidate
+	for _, c := range r.Candidates {
+		if c.Selected {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Synthesize runs the full flow and returns the materialized optimal
+// implementation graph together with the run report.
+func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*impl.Graph, *Report, error) {
+	start := time.Now()
+	if err := cg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, nil, err
+	}
+	report := &Report{}
+
+	// The placement optimizer prices access legs and trunks with its own
+	// embedded point-to-point planner; unless the caller configured it
+	// separately, it must agree with the top-level planner or candidate
+	// prices would diverge from materialized costs.
+	if (opt.Place.P2P == p2p.Options{}) {
+		opt.Place.P2P = opt.P2P
+	}
+
+	// --- Step 1a: optimum point-to-point plans. ---
+	n := cg.NumChannels()
+	p2pPlans := make([]p2p.Plan, n)
+	for i := 0; i < n; i++ {
+		ch := model.ChannelID(i)
+		plan, err := p2p.BestPlan(cg.Distance(ch), cg.Bandwidth(ch), lib, opt.P2P)
+		if err != nil {
+			return nil, nil, fmt.Errorf("synth: channel %q: %w", cg.Channel(ch).Name, err)
+		}
+		p2pPlans[i] = plan
+		report.P2PCost += plan.Cost
+	}
+
+	// --- Step 1b: candidate mergings. ---
+	enum, err := merging.Enumerate(cg, lib, opt.Merging)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Enumeration = enum
+
+	// --- Step 1c: price every candidate. ---
+	for i := 0; i < n; i++ {
+		plan := p2pPlans[i]
+		report.Candidates = append(report.Candidates, Candidate{
+			Channels: []model.ChannelID{model.ChannelID(i)},
+			Kind:     "p2p",
+			Cost:     plan.Cost,
+			Plan:     &plan,
+		})
+	}
+	for k := 2; k <= n; k++ {
+		for _, set := range enum.ByK[k] {
+			cand, err := place.Optimize(cg, lib, set, opt.Place)
+			if err != nil {
+				report.InfeasibleMergings++
+				continue
+			}
+			if !opt.KeepDominated {
+				var alt float64
+				for _, ch := range set {
+					alt += p2pPlans[ch].Cost
+				}
+				if cand.Cost >= alt-1e-9 {
+					report.DominatedMergings++
+					continue
+				}
+			}
+			report.PricedMergings++
+			report.Candidates = append(report.Candidates, Candidate{
+				Channels: append([]model.ChannelID(nil), set...),
+				Kind:     "merge",
+				Cost:     cand.Cost,
+				Merge:    cand,
+			})
+		}
+	}
+
+	// --- Step 2: weighted unate covering. ---
+	m := ucp.NewMatrix(n)
+	for idx, c := range report.Candidates {
+		rows := make([]int, len(c.Channels))
+		for i, ch := range c.Channels {
+			rows[i] = int(ch)
+		}
+		if _, err := m.AddColumn(ucp.Column{
+			Rows:   rows,
+			Weight: c.Cost,
+			Label:  fmt.Sprintf("cand%d", idx),
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	var sol ucp.Solution
+	switch opt.Solver {
+	case GreedySolver:
+		sol, err = m.SolveGreedy()
+	default:
+		// Independent blocks (channel groups sharing no candidate) are
+		// solved separately — exponentially cheaper, same optimum.
+		sol, err = m.SolveDecomposed()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	report.UCPStats = sol.Stats
+	report.SolverOptimal = sol.Optimal
+	report.Cost = sol.Cost
+	for _, j := range sol.Columns {
+		report.Candidates[j].Selected = true
+	}
+
+	// --- Materialize the selected candidates. ---
+	ig, err := materialize(cg, lib, report)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Elapsed = time.Since(start)
+	return ig, report, nil
+}
+
+// materialize builds the implementation graph from the selected
+// candidates. A channel covered by several selected candidates receives
+// the union of their path sets, so every built link is referenced.
+func materialize(cg *model.ConstraintGraph, lib *library.Library, report *Report) (*impl.Graph, error) {
+	ig := impl.New(cg)
+	pathsOf := make(map[model.ChannelID][]graph.Path)
+
+	for _, cand := range report.Candidates {
+		if !cand.Selected {
+			continue
+		}
+		switch cand.Kind {
+		case "p2p":
+			ch := cand.Channels[0]
+			c := cg.Channel(ch)
+			paths, err := p2p.BuildChains(ig, graph.VertexID(c.From), graph.VertexID(c.To), *cand.Plan, lib, c.Name)
+			if err != nil {
+				return nil, err
+			}
+			pathsOf[ch] = append(pathsOf[ch], paths...)
+		case "merge":
+			// Instantiate assigns directly; collect and merge instead.
+			before := make(map[model.ChannelID][]graph.Path, len(cand.Channels))
+			for _, ch := range cand.Channels {
+				before[ch] = ig.Implementation(ch)
+			}
+			if err := cand.Merge.Instantiate(ig, lib); err != nil {
+				return nil, err
+			}
+			for _, ch := range cand.Channels {
+				pathsOf[ch] = append(pathsOf[ch], ig.Implementation(ch)...)
+				ig.AssignImplementation(ch, before[ch])
+			}
+		default:
+			return nil, fmt.Errorf("synth: unknown candidate kind %q", cand.Kind)
+		}
+	}
+	for ch, paths := range pathsOf {
+		ig.AssignImplementation(ch, paths)
+	}
+	if err := ig.Verify(impl.VerifyOptions{}); err != nil {
+		return nil, fmt.Errorf("synth: internal error: synthesized graph fails verification: %w", err)
+	}
+	return ig, nil
+}

@@ -1,0 +1,26 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEffectiveBandwidth(b *testing.B) {
+	s := Source{Peak: 10, MeanOn: 20, MeanOff: 60}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EffectiveBandwidth(150, 1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrace100k(b *testing.B) {
+	s := Source{Peak: 10, MeanOn: 20, MeanOff: 60}
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Trace(r, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package traffic derives channel bandwidth requirements from traffic
+// models — the step upstream of the constraint graph. The paper takes
+// b(a) as given ("a certain required channel bandwidth could be
+// specified in gigabyte per second"); in practice that number comes
+// from characterizing the application's traffic. This package provides
+// the classical tools:
+//
+//   - an on/off Markov fluid source (bursty traffic with exponential
+//     burst and idle durations);
+//   - its effective bandwidth at a target overflow probability for a
+//     given buffer (the standard large-deviations approximation);
+//   - trace generation plus empirical bandwidth estimation (windowed
+//     quantile), so the analytic requirement can be validated against
+//     simulation.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Source is an on/off Markov fluid source: it transmits at Peak while
+// on; on and off periods are exponentially distributed with means
+// MeanOn and MeanOff (in ticks).
+type Source struct {
+	// Peak is the transmission rate while on (bandwidth units).
+	Peak float64
+	// MeanOn and MeanOff are the mean burst and idle durations (ticks).
+	MeanOn, MeanOff float64
+}
+
+// Validate checks the parameters.
+func (s Source) Validate() error {
+	if s.Peak <= 0 || math.IsNaN(s.Peak) {
+		return fmt.Errorf("traffic: peak must be positive")
+	}
+	if s.MeanOn <= 0 || s.MeanOff < 0 {
+		return fmt.Errorf("traffic: durations must be positive (on) and non-negative (off)")
+	}
+	return nil
+}
+
+// MeanRate returns the long-run average rate p·on/(on+off).
+func (s Source) MeanRate() float64 {
+	return s.Peak * s.MeanOn / (s.MeanOn + s.MeanOff)
+}
+
+// Utilization is the on-probability.
+func (s Source) Utilization() float64 {
+	return s.MeanOn / (s.MeanOn + s.MeanOff)
+}
+
+// EffectiveBandwidth returns the service rate c such that a buffer of
+// size B overflows with probability ≈ ε, using the standard
+// exponential-bandwidth approximation for a Markov on/off fluid source
+// (Guérin–Ahmadi–Naghshineh): with α = ln(1/ε) and
+// y = α·b_on·(1−ρ)·p,
+//
+//	c = p · ( y − B + sqrt( (y − B)² + 4·B·ρ·y ) ) / (2·y)
+//
+// For B → 0 the requirement approaches the peak rate; for B → ∞ it
+// approaches the mean rate.
+func (s Source) EffectiveBandwidth(buffer, epsilon float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("traffic: epsilon must be in (0,1)")
+	}
+	if buffer <= 0 {
+		return s.Peak, nil
+	}
+	rho := s.Utilization()
+	if rho >= 1 {
+		return s.Peak, nil
+	}
+	alpha := math.Log(1 / epsilon)
+	// Standard GAN closed form with y = α·b_on·(1−ρ)·p:
+	//   c = p · ( y − B + sqrt( (y − B)² + 4·B·ρ·y ) ) / (2·y)
+	b := s.MeanOn // mean burst duration
+	y := alpha * b * (1 - rho) * s.Peak
+	x := y - buffer
+	c := s.Peak * (x + math.Sqrt(x*x+4*buffer*rho*y)) / (2 * y)
+	// Clamp into [mean, peak]: the approximation can stray just outside
+	// at the extremes.
+	if c < s.MeanRate() {
+		c = s.MeanRate()
+	}
+	if c > s.Peak {
+		c = s.Peak
+	}
+	return c, nil
+}
+
+// Trace simulates the source for the given number of ticks and returns
+// the per-tick transmitted volume.
+func (s Source) Trace(r *rand.Rand, ticks int) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	trace := make([]float64, ticks)
+	on := r.Float64() < s.Utilization()
+	remaining := s.sample(r, on)
+	for t := 0; t < ticks; t++ {
+		if on {
+			trace[t] = s.Peak
+		}
+		remaining--
+		for remaining <= 0 {
+			on = !on
+			remaining += s.sample(r, on)
+		}
+	}
+	return trace, nil
+}
+
+func (s Source) sample(r *rand.Rand, on bool) float64 {
+	mean := s.MeanOff
+	if on {
+		mean = s.MeanOn
+	}
+	if mean <= 0 {
+		return 1
+	}
+	return r.ExpFloat64() * mean
+}
+
+// EstimateBandwidth returns the empirical bandwidth requirement of a
+// trace: the (1−epsilon) quantile of the window-averaged rate. A
+// channel provisioned at this rate would have served all but an
+// epsilon fraction of the windows without queueing beyond one window.
+func EstimateBandwidth(trace []float64, window int, epsilon float64) (float64, error) {
+	if window <= 0 || window > len(trace) {
+		return 0, fmt.Errorf("traffic: window %d out of range for trace of %d", window, len(trace))
+	}
+	if epsilon < 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("traffic: epsilon must be in [0,1)")
+	}
+	var rates []float64
+	var sum float64
+	for i, v := range trace {
+		sum += v
+		if i >= window {
+			sum -= trace[i-window]
+		}
+		if i >= window-1 {
+			rates = append(rates, sum/float64(window))
+		}
+	}
+	sort.Float64s(rates)
+	idx := int(float64(len(rates)-1) * (1 - epsilon))
+	return rates[idx], nil
+}

@@ -1,0 +1,96 @@
+package ucp
+
+// Lower bounds for the branch-and-bound solver. Two classical bounds
+// are implemented:
+//
+//   - the maximal-independent-set bound (rows no available column covers
+//     pairwise, each contributing its cheapest cover) — see solve.go;
+//   - a dual-ascent bound on the LP relaxation, in the spirit of the
+//     LPR-based lower bounds of the paper's reference [8] (Liao &
+//     Devadas): row duals u_r are raised until some covering column
+//     becomes tight; Σ u_r is dual feasible, hence a valid lower bound.
+//
+// Neither bound dominates the other, so the solver uses their maximum.
+
+// dualAscentBound computes the dual-ascent bound for the subproblem
+// restricted to active rows and available columns.
+func (s *bbState) dualAscentBound(active, avail []bool) float64 {
+	m := s.m
+	slack := make([]float64, len(m.cols))
+	usable := make([]bool, len(m.cols))
+	for j, ok := range avail {
+		if !ok {
+			continue
+		}
+		usable[j] = true
+		slack[j] = m.cols[j].Weight
+	}
+	var bound float64
+	// Process rows hardest-first (fewest covering columns) — the usual
+	// heuristic order that tends to tighten the bound.
+	rows := s.rowsByCoverCount(active, avail)
+	for _, r := range rows {
+		// Raise u_r by the minimum remaining slack among columns
+		// covering r.
+		raise := -1.0
+		for j := range usable {
+			if !usable[j] || !containsSorted(m.cols[j].Rows, r) {
+				continue
+			}
+			if raise < 0 || slack[j] < raise {
+				raise = slack[j]
+			}
+		}
+		if raise <= 0 {
+			continue
+		}
+		bound += raise
+		for j := range usable {
+			if usable[j] && containsSorted(m.cols[j].Rows, r) {
+				slack[j] -= raise
+			}
+		}
+	}
+	return bound
+}
+
+// rowsByCoverCount returns the active rows sorted by ascending number
+// of available covering columns.
+func (s *bbState) rowsByCoverCount(active, avail []bool) []int {
+	type rowCount struct{ r, n int }
+	var rows []rowCount
+	for r := 0; r < s.m.numRows; r++ {
+		if !active[r] {
+			continue
+		}
+		n := 0
+		for j, ok := range avail {
+			if ok && containsSorted(s.m.cols[j].Rows, r) {
+				n++
+			}
+		}
+		rows = append(rows, rowCount{r, n})
+	}
+	// Insertion sort: row counts are small and allocation-free ordering
+	// keeps this hot path cheap.
+	for i := 1; i < len(rows); i++ {
+		for k := i; k > 0 && rows[k].n < rows[k-1].n; k-- {
+			rows[k], rows[k-1] = rows[k-1], rows[k]
+		}
+	}
+	out := make([]int, len(rows))
+	for i, rc := range rows {
+		out[i] = rc.r
+	}
+	return out
+}
+
+// combinedBound returns the stronger of the MIS and dual-ascent bounds.
+func (s *bbState) combinedBound(active, avail []bool) float64 {
+	mis := s.lowerBound(active, avail)
+	da := s.dualAscentBound(active, avail)
+	if da > mis {
+		return da
+	}
+	return mis
+}

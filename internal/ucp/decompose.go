@@ -1,0 +1,118 @@
+package ucp
+
+import "sort"
+
+// Covering instances from the synthesis flow often decompose: channels
+// in different regions share no merging candidates, so the covering
+// matrix splits into independent blocks (connected components of the
+// bipartite row–column incidence graph). Solving the blocks separately
+// is exponentially cheaper than branching over the union.
+
+// components labels every row with a block id and returns, per block,
+// the rows and the columns touching them.
+func (m *Matrix) components() (blocks [][2][]int) {
+	// Union-find over rows.
+	parent := make([]int, m.numRows)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, c := range m.cols {
+		for i := 1; i < len(c.Rows); i++ {
+			union(c.Rows[0], c.Rows[i])
+		}
+	}
+	rowsOf := make(map[int][]int)
+	for r := 0; r < m.numRows; r++ {
+		root := find(r)
+		rowsOf[root] = append(rowsOf[root], r)
+	}
+	colsOf := make(map[int][]int)
+	for j, c := range m.cols {
+		if len(c.Rows) == 0 {
+			continue
+		}
+		root := find(c.Rows[0])
+		colsOf[root] = append(colsOf[root], j)
+	}
+	var roots []int
+	for root := range rowsOf {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		blocks = append(blocks, [2][]int{rowsOf[root], colsOf[root]})
+	}
+	return blocks
+}
+
+// SolveDecomposed splits the instance into independent blocks, solves
+// each with the branch-and-bound, and concatenates the solutions. For a
+// single-block instance it is identical to Solve. The combined solution
+// is optimal because no column spans two blocks.
+func (m *Matrix) SolveDecomposed() (Solution, error) {
+	if !m.Feasible() {
+		return Solution{}, errInfeasible()
+	}
+	blocks := m.components()
+	if len(blocks) <= 1 {
+		return m.Solve()
+	}
+	var out Solution
+	out.Optimal = true
+	for _, b := range blocks {
+		rows, cols := b[0], b[1]
+		// Build the sub-instance with remapped row indices.
+		rowIndex := make(map[int]int, len(rows))
+		for i, r := range rows {
+			rowIndex[r] = i
+		}
+		sub := NewMatrix(len(rows))
+		for _, j := range cols {
+			c := m.cols[j]
+			mapped := make([]int, len(c.Rows))
+			for i, r := range c.Rows {
+				mapped[i] = rowIndex[r]
+			}
+			sub.MustAddColumn(Column{Rows: mapped, Weight: c.Weight, Label: c.Label})
+		}
+		sol, err := sub.Solve()
+		if err != nil {
+			return Solution{}, err
+		}
+		for _, sj := range sol.Columns {
+			out.Columns = append(out.Columns, cols[sj])
+		}
+		out.Cost += sol.Cost
+		out.Stats.Nodes += sol.Stats.Nodes
+		out.Stats.Prunes += sol.Stats.Prunes
+		out.Stats.Reductions += sol.Stats.Reductions
+	}
+	sort.Ints(out.Columns)
+	return out, nil
+}
+
+func errInfeasible() error {
+	return errInfeasibleValue
+}
+
+type infeasibleError struct{}
+
+func (infeasibleError) Error() string {
+	return "ucp: infeasible: some row has no covering column"
+}
+
+var errInfeasibleValue = infeasibleError{}

@@ -1,0 +1,24 @@
+package ucp_test
+
+import (
+	"fmt"
+
+	"repro/internal/ucp"
+)
+
+// Example solves a tiny weighted covering instance: a bundle column
+// covering all three rows beats the three singletons when its weight is
+// below their sum.
+func Example() {
+	m := ucp.NewMatrix(3)
+	m.MustAddColumn(ucp.Column{Rows: []int{0, 1, 2}, Weight: 2.5, Label: "bundle"})
+	m.MustAddColumn(ucp.Column{Rows: []int{0}, Weight: 1, Label: "r0"})
+	m.MustAddColumn(ucp.Column{Rows: []int{1}, Weight: 1, Label: "r1"})
+	m.MustAddColumn(ucp.Column{Rows: []int{2}, Weight: 1, Label: "r2"})
+
+	sol, _ := m.Solve()
+	fmt.Printf("cost %.1f using %d column(s): %s\n",
+		sol.Cost, len(sol.Columns), m.Column(sol.Columns[0]).Label)
+	// Output:
+	// cost 2.5 using 1 column(s): bundle
+}

@@ -1,0 +1,96 @@
+package ucp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SolveGreedy returns a feasible (not necessarily optimal) cover using
+// the classical weight-per-newly-covered-row heuristic. It serves as a
+// baseline for the exact solver and as its initial incumbent.
+func (m *Matrix) SolveGreedy() (Solution, error) {
+	if !m.Feasible() {
+		return Solution{}, fmt.Errorf("ucp: infeasible: some row has no covering column")
+	}
+	covered := make([]bool, m.numRows)
+	remaining := m.numRows
+	var chosen []int
+	var cost float64
+	for remaining > 0 {
+		bestJ := -1
+		bestRatio := math.Inf(1)
+		bestNew := 0
+		for j, c := range m.cols {
+			newRows := 0
+			for _, r := range c.Rows {
+				if !covered[r] {
+					newRows++
+				}
+			}
+			if newRows == 0 {
+				continue
+			}
+			ratio := c.Weight / float64(newRows)
+			if ratio < bestRatio || (ratio == bestRatio && newRows > bestNew) {
+				bestJ, bestRatio, bestNew = j, ratio, newRows
+			}
+		}
+		if bestJ < 0 {
+			return Solution{}, fmt.Errorf("ucp: greedy stalled with %d rows uncovered", remaining)
+		}
+		chosen = append(chosen, bestJ)
+		cost += m.cols[bestJ].Weight
+		for _, r := range m.cols[bestJ].Rows {
+			if !covered[r] {
+				covered[r] = true
+				remaining--
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return Solution{Columns: chosen, Cost: cost, Optimal: false}, nil
+}
+
+// SolveExhaustive enumerates all 2^n column subsets and returns the true
+// optimum. It exists to cross-check the branch-and-bound solver in tests
+// and refuses instances with more than 24 columns.
+func (m *Matrix) SolveExhaustive() (Solution, error) {
+	n := len(m.cols)
+	if n > 24 {
+		return Solution{}, fmt.Errorf("ucp: exhaustive solver limited to 24 columns, got %d", n)
+	}
+	if !m.Feasible() {
+		return Solution{}, fmt.Errorf("ucp: infeasible: some row has no covering column")
+	}
+	bestCost := math.Inf(1)
+	var best []int
+	for mask := 0; mask < 1<<n; mask++ {
+		var cost float64
+		covered := make([]bool, m.numRows)
+		count := 0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			cost += m.cols[j].Weight
+			for _, r := range m.cols[j].Rows {
+				if !covered[r] {
+					covered[r] = true
+					count++
+				}
+			}
+		}
+		if count != m.numRows || cost >= bestCost {
+			continue
+		}
+		bestCost = cost
+		best = best[:0]
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				best = append(best, j)
+			}
+		}
+	}
+	return Solution{Columns: append([]int(nil), best...), Cost: bestCost, Optimal: true}, nil
+}

@@ -1,0 +1,362 @@
+package ucp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Solve finds a provably minimum-weight cover by branch-and-bound with
+// classical reductions. It returns an error when the instance is
+// infeasible (some row has no covering column).
+func (m *Matrix) Solve() (Solution, error) {
+	if !m.Feasible() {
+		return Solution{}, fmt.Errorf("ucp: infeasible: some row has no covering column")
+	}
+	s := &bbState{
+		m:        m,
+		bestCost: math.Inf(1),
+	}
+	// Seed the incumbent with the greedy solution so pruning bites early.
+	if greedy, err := m.SolveGreedy(); err == nil {
+		s.bestCost = greedy.Cost
+		s.bestCols = append([]int(nil), greedy.Columns...)
+	}
+	active := make([]bool, m.numRows)
+	for r := range active {
+		active[r] = true
+	}
+	avail := make([]bool, len(m.cols))
+	for j := range avail {
+		avail[j] = true
+	}
+	s.branch(active, avail, nil, 0)
+	sort.Ints(s.bestCols)
+	return Solution{
+		Columns: s.bestCols,
+		Cost:    s.bestCost,
+		Optimal: true,
+		Stats:   s.stats,
+	}, nil
+}
+
+type bbState struct {
+	m        *Matrix
+	bestCost float64
+	bestCols []int
+	stats    Stats
+}
+
+// branch explores the subproblem where `active` rows remain uncovered
+// and `avail` columns may still be chosen; `chosen` columns cost `cost`.
+func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
+	s.stats.Nodes++
+
+	// Apply reductions until a fixed point. Reductions mutate copies.
+	active = append([]bool(nil), active...)
+	avail = append([]bool(nil), avail...)
+	chosen = append([]int(nil), chosen...)
+
+	for {
+		changed, feasible, extraCost, extraCols := s.reduce(active, avail)
+		if !feasible {
+			return
+		}
+		cost += extraCost
+		chosen = append(chosen, extraCols...)
+		if cost >= s.bestCost {
+			s.stats.Prunes++
+			return
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// All rows covered?
+	remaining := 0
+	for r, on := range active {
+		if on {
+			remaining++
+			_ = r
+		}
+	}
+	if remaining == 0 {
+		if cost < s.bestCost {
+			s.bestCost = cost
+			s.bestCols = append([]int(nil), chosen...)
+		}
+		return
+	}
+
+	// Lower bound: the stronger of the independent-set and dual-ascent
+	// bounds.
+	if cost+s.combinedBound(active, avail) >= s.bestCost {
+		s.stats.Prunes++
+		return
+	}
+
+	// Branch on the hardest row: fewest available covering columns.
+	row := s.hardestRow(active, avail)
+	if row < 0 {
+		return // infeasible subproblem
+	}
+	var covering []int
+	for j, ok := range avail {
+		if !ok {
+			continue
+		}
+		if containsSorted(s.m.cols[j].Rows, row) {
+			covering = append(covering, j)
+		}
+	}
+	// Try cheapest-first for better incumbents early.
+	sort.Slice(covering, func(a, b int) bool {
+		return s.m.cols[covering[a]].Weight < s.m.cols[covering[b]].Weight
+	})
+	for i, j := range covering {
+		childActive := append([]bool(nil), active...)
+		childAvail := append([]bool(nil), avail...)
+		for _, r := range s.m.cols[j].Rows {
+			childActive[r] = false
+		}
+		childAvail[j] = false
+		// Columns earlier in the branching list are excluded in later
+		// branches (they were already fully explored with this row).
+		for _, prev := range covering[:i] {
+			childAvail[prev] = false
+		}
+		s.branch(childActive, childAvail, append(chosen, j), cost+s.m.cols[j].Weight)
+	}
+}
+
+// reduce applies one round of essential-column extraction and column
+// dominance to the subproblem in place. It reports whether anything
+// changed, whether the subproblem remains feasible, and any columns
+// forced into the solution (with their total weight).
+func (s *bbState) reduce(active, avail []bool) (changed, feasible bool, extraCost float64, extraCols []int) {
+	m := s.m
+	// Count covering columns per active row; find essentials.
+	for r := 0; r < m.numRows; r++ {
+		if !active[r] {
+			continue
+		}
+		count := 0
+		last := -1
+		for j, ok := range avail {
+			if !ok {
+				continue
+			}
+			if containsSorted(m.cols[j].Rows, r) {
+				count++
+				last = j
+				if count > 1 {
+					break
+				}
+			}
+		}
+		if count == 0 {
+			return false, false, 0, nil
+		}
+		if count == 1 {
+			// Essential column: must be chosen.
+			s.stats.Reductions++
+			extraCols = append(extraCols, last)
+			extraCost += m.cols[last].Weight
+			for _, rr := range m.cols[last].Rows {
+				active[rr] = false
+			}
+			avail[last] = false
+			return true, true, extraCost, extraCols
+		}
+	}
+
+	// Column dominance: drop columns whose active cover is a subset of
+	// another no-heavier column's. O(n² · rows) but instances are small.
+	activeCover := func(j int) []int {
+		var rows []int
+		for _, r := range m.cols[j].Rows {
+			if active[r] {
+				rows = append(rows, r)
+			}
+		}
+		return rows
+	}
+	type colInfo struct {
+		j    int
+		rows []int
+		w    float64
+	}
+	var infos []colInfo
+	for j, ok := range avail {
+		if !ok {
+			continue
+		}
+		rows := activeCover(j)
+		if len(rows) == 0 {
+			// Useless column in this subproblem.
+			avail[j] = false
+			s.stats.Reductions++
+			changed = true
+			continue
+		}
+		infos = append(infos, colInfo{j: j, rows: rows, w: m.cols[j].Weight})
+	}
+	for _, a := range infos {
+		if !avail[a.j] {
+			continue
+		}
+		for _, b := range infos {
+			if a.j == b.j || !avail[b.j] || !avail[a.j] {
+				continue
+			}
+			// a dominated by b: cover(a) ⊆ cover(b), weight(a) ≥ weight(b).
+			// Tie-break by index so equal columns do not erase each other.
+			if a.w > b.w || (a.w == b.w && a.j > b.j) {
+				if subsetSorted(a.rows, b.rows) {
+					avail[a.j] = false
+					s.stats.Reductions++
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Row dominance: if every available column covering row r2 also
+	// covers row r1 (r1's covering set ⊇ r2's), any cover of r2 covers
+	// r1 for free, so r1 can be deactivated.
+	coverOf := func(r int) []int {
+		var cols []int
+		for j, ok := range avail {
+			if ok && containsSorted(m.cols[j].Rows, r) {
+				cols = append(cols, j)
+			}
+		}
+		return cols
+	}
+	var activeRows []int
+	covers := make(map[int][]int)
+	for r := 0; r < m.numRows; r++ {
+		if active[r] {
+			activeRows = append(activeRows, r)
+			covers[r] = coverOf(r)
+		}
+	}
+	for _, r1 := range activeRows {
+		if !active[r1] {
+			continue
+		}
+		for _, r2 := range activeRows {
+			if r1 == r2 || !active[r1] || !active[r2] {
+				continue
+			}
+			// Drop r1 when covers[r2] ⊆ covers[r1]; tie-break by index
+			// so mutually dominating rows do not erase each other.
+			if len(covers[r2]) < len(covers[r1]) ||
+				(len(covers[r2]) == len(covers[r1]) && r2 < r1) {
+				if subsetSorted(covers[r2], covers[r1]) {
+					active[r1] = false
+					s.stats.Reductions++
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return changed, true, extraCost, extraCols
+}
+
+// lowerBound computes an admissible bound for the remaining subproblem:
+// greedily pick pairwise independent active rows (no available column
+// covers two of them) and sum, for each, the cheapest covering column.
+func (s *bbState) lowerBound(active, avail []bool) float64 {
+	m := s.m
+	blocked := make([]bool, m.numRows)
+	var bound float64
+	// Visit rows in order of increasing cheapest-cover weight descending
+	// — picking expensive rows first strengthens the bound.
+	type rowInfo struct {
+		r    int
+		minW float64
+	}
+	var rows []rowInfo
+	for r := 0; r < m.numRows; r++ {
+		if !active[r] {
+			continue
+		}
+		minW := math.Inf(1)
+		for j, ok := range avail {
+			if !ok {
+				continue
+			}
+			if containsSorted(m.cols[j].Rows, r) && m.cols[j].Weight < minW {
+				minW = m.cols[j].Weight
+			}
+		}
+		rows = append(rows, rowInfo{r: r, minW: minW})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].minW > rows[b].minW })
+	for _, ri := range rows {
+		if blocked[ri.r] {
+			continue
+		}
+		bound += ri.minW
+		// Block every row sharing a column with ri.r.
+		for j, ok := range avail {
+			if !ok {
+				continue
+			}
+			if !containsSorted(m.cols[j].Rows, ri.r) {
+				continue
+			}
+			for _, rr := range m.cols[j].Rows {
+				if active[rr] {
+					blocked[rr] = true
+				}
+			}
+		}
+	}
+	return bound
+}
+
+// hardestRow returns the active row with the fewest available covering
+// columns, or -1 if no active row exists.
+func (s *bbState) hardestRow(active, avail []bool) int {
+	best := -1
+	bestCount := math.MaxInt32
+	for r := 0; r < s.m.numRows; r++ {
+		if !active[r] {
+			continue
+		}
+		count := 0
+		for j, ok := range avail {
+			if ok && containsSorted(s.m.cols[j].Rows, r) {
+				count++
+			}
+		}
+		if count > 0 && count < bestCount {
+			best, bestCount = r, count
+		}
+	}
+	return best
+}
+
+func containsSorted(rows []int, r int) bool {
+	i := sort.SearchInts(rows, r)
+	return i < len(rows) && rows[i] == r
+}
+
+// subsetSorted reports whether a ⊆ b for sorted int slices.
+func subsetSorted(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}

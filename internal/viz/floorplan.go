@@ -1,0 +1,53 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/floorplan"
+)
+
+// FloorplanSVG renders a placement: modules as labelled tiles at their
+// slots, demands as straight arrows weighted by bandwidth (thicker =
+// more traffic). The drawing shares the scale/margin conventions of the
+// other renderers so it can sit alongside the architecture views.
+func FloorplanSVG(modules []floorplan.Module, demands []floorplan.Demand, pl *floorplan.Placement, o Options) string {
+	o = o.withDefaults()
+	if len(pl.Positions) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="0" height="0"></svg>` + "\n"
+	}
+	t := fit(pl.Positions, o)
+
+	maxBW := 0.0
+	for _, d := range demands {
+		if d.Bandwidth > maxBW {
+			maxBW = d.Bandwidth
+		}
+	}
+
+	var b strings.Builder
+	header(&b, o)
+	for _, d := range demands {
+		x1, y1 := t.apply(pl.Positions[d.From])
+		x2, y2 := t.apply(pl.Positions[d.To])
+		width := 1.0
+		if maxBW > 0 {
+			width = 1 + 3*d.Bandwidth/maxBW
+		}
+		arrow(&b, x1, y1, x2, y2, LinkStyle{Stroke: "#2166ac", Width: width})
+	}
+	// Tile size: half the smallest slot pitch in screen space, capped.
+	tile := 28.0
+	for i, p := range pl.Positions {
+		x, y := t.apply(p)
+		fmt.Fprintf(&b,
+			`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#d9ead3" stroke="#333"/>`+"\n",
+			x-tile/2, y-tile/2, tile, tile)
+		if o.ShowLabels && i < len(modules) {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" fill="#000">%s</text>`+"\n",
+				x, y+4, escape(modules[i].Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

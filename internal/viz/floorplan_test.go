@@ -1,0 +1,34 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestFloorplanSVG(t *testing.T) {
+	modules := []floorplan.Module{{Name: "cpu"}, {Name: "mem"}, {Name: "io"}}
+	demands := []floorplan.Demand{
+		{From: 0, To: 1, Bandwidth: 10},
+		{From: 2, To: 0, Bandwidth: 2},
+	}
+	pl, err := floorplan.Place(modules, demands, floorplan.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := FloorplanSVG(modules, demands, pl, Options{ShowLabels: true})
+	for _, want := range []string{"<svg", "</svg>", ">cpu<", ">mem<", ">io<", "<rect", "<line"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("floorplan SVG missing %q", want)
+		}
+	}
+	// The fat demand should be drawn thicker than the thin one.
+	if !strings.Contains(svg, `stroke-width="4.0"`) || !strings.Contains(svg, `stroke-width="1.6"`) {
+		t.Errorf("bandwidth weighting not visible:\n%s", svg)
+	}
+	// Empty placement degenerates gracefully.
+	if out := FloorplanSVG(nil, nil, &floorplan.Placement{}, Options{}); !strings.Contains(out, "<svg") {
+		t.Error("empty placement malformed")
+	}
+}

@@ -1,0 +1,56 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// CongestionHeatmap renders a routing congestion grid as an SVG
+// overlayable heat map: cells shaded from transparent (empty) through
+// yellow to red (hottest), with the hotness scale normalized to the
+// grid's maximum overlap.
+func CongestionHeatmap(congestion [][]int, bounds geom.BoundingBox, o Options) string {
+	o = o.withDefaults()
+	rows := len(congestion)
+	if rows == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="0" height="0"></svg>` + "\n"
+	}
+	cols := len(congestion[0])
+	maxCount := 0
+	for _, row := range congestion {
+		for _, c := range row {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+	}
+	t := fit([]geom.Point{bounds.Min, bounds.Max}, o)
+
+	var b strings.Builder
+	header(&b, o)
+	cellW := bounds.Width() / float64(cols)
+	cellH := bounds.Height() / float64(rows)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			c := congestion[y][x]
+			if c == 0 {
+				continue
+			}
+			heat := float64(c) / float64(maxCount)
+			// Yellow (low) → red (high).
+			g := int(220 * (1 - heat))
+			corner := geom.Pt(bounds.Min.X+float64(x)*cellW, bounds.Min.Y+float64(y+1)*cellH)
+			px, py := t.apply(corner)
+			fmt.Fprintf(&b,
+				`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(230,%d,40)" fill-opacity="0.6"/>`+"\n",
+				px, py, cellW*t.scale, cellH*t.scale, g)
+		}
+	}
+	// Scale legend.
+	fmt.Fprintf(&b, `<text x="10" y="%d" font-size="11" fill="#000">max overlap: %d</text>`+"\n",
+		o.Height-8, maxCount)
+	b.WriteString("</svg>\n")
+	return b.String()
+}

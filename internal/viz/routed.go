@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/impl"
+)
+
+// RoutedImplementation renders an implementation graph with explicit
+// rectilinear wire routes (as produced by the routing package) instead
+// of straight-line links — the Figure 5 style of drawing. Routes maps
+// each arc to its polyline; arcs without a route fall back to a
+// straight line.
+func RoutedImplementation(ig *impl.Graph, routes map[graph.ArcID][]geom.Point, o Options) string {
+	o = o.withDefaults()
+	var pts []geom.Point
+	for v := 0; v < ig.NumVertices(); v++ {
+		pts = append(pts, ig.Vertex(graph.VertexID(v)).Position)
+	}
+	for _, route := range routes {
+		pts = append(pts, route...)
+	}
+	t := fit(pts, o)
+
+	var b strings.Builder
+	header(&b, o)
+	for a := 0; a < ig.NumLinks(); a++ {
+		id := graph.ArcID(a)
+		style, ok := o.LinkStyles[ig.Link(id).Name]
+		if !ok {
+			style = LinkStyle{Stroke: "#999", Width: 1}
+		}
+		route, ok := routes[id]
+		if !ok || len(route) < 2 {
+			arc := ig.Digraph().Arc(id)
+			route = []geom.Point{
+				ig.Vertex(arc.From).Position,
+				ig.Vertex(arc.To).Position,
+			}
+		}
+		polyline(&b, t, route, style)
+	}
+	for v := 0; v < ig.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		vx := ig.Vertex(id)
+		x, y := t.apply(vx.Position)
+		if vx.Kind == impl.Communication {
+			fmt.Fprintf(&b,
+				`<rect x="%.1f" y="%.1f" width="6" height="6" fill="#e67700" stroke="#333"/>`+"\n",
+				x-3, y-3)
+		} else {
+			fmt.Fprintf(&b,
+				`<circle cx="%.1f" cy="%.1f" r="5" fill="#1b7837" stroke="#333"/>`+"\n", x, y)
+			if o.ShowLabels {
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#000">%s</text>`+"\n",
+					x+7, y+3, escape(vx.Name))
+			}
+		}
+	}
+	legend(&b, ig, o)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func polyline(b *strings.Builder, t transform, route []geom.Point, s LinkStyle) {
+	var d strings.Builder
+	for i, p := range route {
+		x, y := t.apply(p)
+		if i == 0 {
+			fmt.Fprintf(&d, "M %.1f %.1f", x, y)
+		} else {
+			fmt.Fprintf(&d, " L %.1f %.1f", x, y)
+		}
+	}
+	dash := ""
+	if s.Dash != "" {
+		dash = fmt.Sprintf(` stroke-dasharray="%s"`, s.Dash)
+	}
+	fmt.Fprintf(b, `<path d="%s" fill="none" stroke="%s" stroke-width="%.1f"%s/>`+"\n",
+		d.String(), s.Stroke, s.Width, dash)
+}

@@ -1,0 +1,70 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/p2p"
+	"repro/internal/routing"
+	"repro/internal/workloads"
+)
+
+func TestRoutedImplementationSVG(t *testing.T) {
+	cg := workloads.MPEG4()
+	lib := workloads.MPEG4Technology().Library()
+	ig, _, err := p2p.Synthesize(cg, lib, p2p.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := routing.RouteImplementation(ig, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routeMap := make(map[graph.ArcID][]geom.Point, len(routed.Routes))
+	for _, r := range routed.Routes {
+		routeMap[r.Arc] = r.Points
+	}
+	svg := RoutedImplementation(ig, routeMap, Options{ShowLabels: true})
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("malformed SVG")
+	}
+	// One path element per link.
+	if got := strings.Count(svg, "<path"); got != ig.NumLinks() {
+		t.Errorf("path count = %d, want %d", got, ig.NumLinks())
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN coordinates in SVG")
+	}
+	// Missing routes fall back to straight lines without panicking.
+	partial := RoutedImplementation(ig, nil, Options{})
+	if !strings.Contains(partial, "<path") {
+		t.Error("fallback rendering missing paths")
+	}
+}
+
+func TestCongestionHeatmap(t *testing.T) {
+	cg := workloads.MPEG4()
+	lib := workloads.MPEG4Technology().Library()
+	ig, _, err := p2p.Synthesize(cg, lib, p2p.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := routing.RouteImplementation(ig, routing.Options{GridCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := CongestionHeatmap(routed.Congestion, routed.Bounds, Options{})
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "max overlap:") {
+		t.Fatalf("heatmap malformed:\n%.200s", svg)
+	}
+	if !strings.Contains(svg, "fill-opacity") {
+		t.Error("no heat cells rendered")
+	}
+	// Empty grid degenerates gracefully.
+	empty := CongestionHeatmap(nil, routed.Bounds, Options{})
+	if !strings.Contains(empty, "<svg") {
+		t.Error("empty heatmap malformed")
+	}
+}

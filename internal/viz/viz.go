@@ -1,0 +1,282 @@
+// Package viz renders constraint graphs and implementation graphs as
+// standalone SVG documents, regenerating the paper's figures: the
+// network diagrams of Figures 1 and 3, the synthesized architecture of
+// Figure 4 (dashed radio links, solid optical trunk) and the on-chip
+// layout of Figure 5.
+//
+// The renderer is deliberately simple and deterministic — stdlib only,
+// stable output for golden tests — and draws to scale: vertex positions
+// come straight from the model, fitted into the viewport with a uniform
+// scale and margin.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/impl"
+	"repro/internal/model"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height of the SVG viewport in pixels; zero means 640×480.
+	Width, Height int
+	// Margin in pixels around the drawing; zero means 40.
+	Margin int
+	// LinkClass maps a link name to an SVG stroke style class; nil uses
+	// DefaultLinkStyles. Unknown links fall back to a solid gray line.
+	LinkStyles map[string]LinkStyle
+	// ShowLabels draws vertex names (default true via the constructor;
+	// the zero value hides them).
+	ShowLabels bool
+}
+
+// LinkStyle is the stroke used for instances of one library link.
+type LinkStyle struct {
+	// Stroke is the CSS color.
+	Stroke string
+	// Dash is the stroke-dasharray ("" for solid).
+	Dash string
+	// Width is the stroke width in pixels.
+	Width float64
+}
+
+// DefaultLinkStyles mirrors the paper's Figure 4 conventions: dash-dot
+// lines for radio links, solid for optical, thin gray for on-chip wire.
+func DefaultLinkStyles() map[string]LinkStyle {
+	return map[string]LinkStyle{
+		"radio":   {Stroke: "#555", Dash: "8,3,2,3", Width: 1.5},
+		"optical": {Stroke: "#0a58ca", Dash: "", Width: 3},
+		"fiber":   {Stroke: "#0a58ca", Dash: "", Width: 3},
+		"wire":    {Stroke: "#888", Dash: "", Width: 1},
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 640
+	}
+	if o.Height <= 0 {
+		o.Height = 480
+	}
+	if o.Margin <= 0 {
+		o.Margin = 40
+	}
+	if o.LinkStyles == nil {
+		o.LinkStyles = DefaultLinkStyles()
+	}
+	return o
+}
+
+// transform maps model coordinates into the SVG viewport (y flipped so
+// north is up).
+type transform struct {
+	scale      float64
+	minX, maxY float64
+	margin     float64
+}
+
+func fit(points []geom.Point, o Options) transform {
+	b := geom.Bounds(points)
+	w := b.Width()
+	h := b.Height()
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	sx := (float64(o.Width) - 2*float64(o.Margin)) / w
+	sy := (float64(o.Height) - 2*float64(o.Margin)) / h
+	return transform{
+		scale:  math.Min(sx, sy),
+		minX:   b.Min.X,
+		maxY:   b.Max.Y,
+		margin: float64(o.Margin),
+	}
+}
+
+func (t transform) apply(p geom.Point) (float64, float64) {
+	return t.margin + (p.X-t.minX)*t.scale, t.margin + (t.maxY-p.Y)*t.scale
+}
+
+// ConstraintGraph renders the constraint graph: ports as circles
+// (grouped visually by module color), channels as arrows labelled with
+// their names.
+func ConstraintGraph(cg *model.ConstraintGraph, o Options) string {
+	o = o.withDefaults()
+	var pts []geom.Point
+	for i := 0; i < cg.NumPorts(); i++ {
+		pts = append(pts, cg.Position(model.PortID(i)))
+	}
+	t := fit(pts, o)
+
+	var b strings.Builder
+	header(&b, o)
+	// Channels first (under the vertices).
+	for i := 0; i < cg.NumChannels(); i++ {
+		ch := model.ChannelID(i)
+		c := cg.Channel(ch)
+		x1, y1 := t.apply(cg.Position(c.From))
+		x2, y2 := t.apply(cg.Position(c.To))
+		arrow(&b, x1, y1, x2, y2, LinkStyle{Stroke: "#333", Width: 1.2})
+		if o.ShowLabels {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="#333">%s</text>`+"\n",
+				(x1+x2)/2+4, (y1+y2)/2-4, escape(c.Name))
+		}
+	}
+	drawPorts(&b, cg, t, o)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Implementation renders an implementation graph: computational
+// vertices as circles, communication vertices as squares, link
+// instances styled per library link (Figure 4's dashed/solid
+// convention).
+func Implementation(ig *impl.Graph, o Options) string {
+	o = o.withDefaults()
+	var pts []geom.Point
+	for v := 0; v < ig.NumVertices(); v++ {
+		pts = append(pts, ig.Vertex(graph.VertexID(v)).Position)
+	}
+	t := fit(pts, o)
+
+	var b strings.Builder
+	header(&b, o)
+	for a := 0; a < ig.NumLinks(); a++ {
+		id := graph.ArcID(a)
+		arc := ig.Digraph().Arc(id)
+		x1, y1 := t.apply(ig.Vertex(arc.From).Position)
+		x2, y2 := t.apply(ig.Vertex(arc.To).Position)
+		style, ok := o.LinkStyles[ig.Link(id).Name]
+		if !ok {
+			style = LinkStyle{Stroke: "#999", Width: 1}
+		}
+		arrow(&b, x1, y1, x2, y2, style)
+	}
+	for v := 0; v < ig.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		vx := ig.Vertex(id)
+		x, y := t.apply(vx.Position)
+		if vx.Kind == impl.Communication {
+			fmt.Fprintf(&b,
+				`<rect x="%.1f" y="%.1f" width="8" height="8" fill="#e67700" stroke="#333"/>`+"\n",
+				x-4, y-4)
+		} else {
+			fmt.Fprintf(&b,
+				`<circle cx="%.1f" cy="%.1f" r="5" fill="#1b7837" stroke="#333"/>`+"\n", x, y)
+		}
+		if o.ShowLabels && vx.Kind == impl.Computational {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#000">%s</text>`+"\n",
+				x+7, y+3, escape(vx.Name))
+		}
+	}
+	legend(&b, ig, o)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func drawPorts(b *strings.Builder, cg *model.ConstraintGraph, t transform, o Options) {
+	// Stable module → color assignment.
+	moduleColors := map[string]string{}
+	var modules []string
+	for i := 0; i < cg.NumPorts(); i++ {
+		m := cg.Port(model.PortID(i)).Module
+		if _, seen := moduleColors[m]; !seen {
+			moduleColors[m] = ""
+			modules = append(modules, m)
+		}
+	}
+	sort.Strings(modules)
+	palette := []string{"#1b7837", "#762a83", "#2166ac", "#b2182b", "#e08214", "#35978f", "#c51b7d", "#4d4d4d"}
+	for i, m := range modules {
+		moduleColors[m] = palette[i%len(palette)]
+	}
+	drawn := map[string]bool{}
+	for i := 0; i < cg.NumPorts(); i++ {
+		id := model.PortID(i)
+		p := cg.Port(id)
+		x, y := t.apply(p.Position)
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s" stroke="#333"/>`+"\n",
+			x, y, moduleColors[p.Module])
+		label := p.Module
+		if label == "" {
+			label = p.Name
+		}
+		if o.ShowLabels && !drawn[label] {
+			fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" fill="#000">%s</text>`+"\n",
+				x+8, y+4, escape(label))
+			drawn[label] = true
+		}
+	}
+}
+
+func header(b *strings.Builder, o Options) {
+	fmt.Fprintf(b,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", o.Width, o.Height)
+}
+
+func arrow(b *strings.Builder, x1, y1, x2, y2 float64, s LinkStyle) {
+	dash := ""
+	if s.Dash != "" {
+		dash = fmt.Sprintf(` stroke-dasharray="%s"`, s.Dash)
+	}
+	fmt.Fprintf(b,
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"%s/>`+"\n",
+		x1, y1, x2, y2, s.Stroke, s.Width, dash)
+	// Arrowhead: a short chevron at 85% along the line.
+	dx, dy := x2-x1, y2-y1
+	length := math.Hypot(dx, dy)
+	if length < 1e-9 {
+		return
+	}
+	ux, uy := dx/length, dy/length
+	ax, ay := x1+dx*0.85, y1+dy*0.85
+	const size = 5.0
+	leftX, leftY := ax-size*ux-size*0.5*uy, ay-size*uy+size*0.5*ux
+	rightX, rightY := ax-size*ux+size*0.5*uy, ay-size*uy-size*0.5*ux
+	fmt.Fprintf(b,
+		`<path d="M %.1f %.1f L %.1f %.1f L %.1f %.1f" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		leftX, leftY, ax, ay, rightX, rightY, s.Stroke, s.Width)
+}
+
+func legend(b *strings.Builder, ig *impl.Graph, o Options) {
+	// Collect the link names actually used, sorted for determinism.
+	used := map[string]bool{}
+	for a := 0; a < ig.NumLinks(); a++ {
+		used[ig.Link(graph.ArcID(a)).Name] = true
+	}
+	var names []string
+	for n := range used {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	y := float64(o.Height) - 14*float64(len(names)) - 8
+	for _, n := range names {
+		style, ok := o.LinkStyles[n]
+		if !ok {
+			style = LinkStyle{Stroke: "#999", Width: 1}
+		}
+		dash := ""
+		if style.Dash != "" {
+			dash = fmt.Sprintf(` stroke-dasharray="%s"`, style.Dash)
+		}
+		fmt.Fprintf(b, `<line x1="10" y1="%.1f" x2="40" y2="%.1f" stroke="%s" stroke-width="%.1f"%s/>`+"\n",
+			y, y, style.Stroke, style.Width, dash)
+		fmt.Fprintf(b, `<text x="46" y="%.1f" font-size="11" fill="#000">%s</text>`+"\n", y+4, escape(n))
+		y += 14
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

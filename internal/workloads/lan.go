@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+// LAN builds the second motivating scenario of the paper's Section 2:
+// a local-area network where the design question is whether to realize
+// each link as fiber-optic, wireless, or a combination of the two.
+// Distances are Euclidean meters, bandwidths Mbit/s.
+//
+// The instance is a small campus: two server racks in a machine room,
+// client pools in three buildings, and an uplink pair between the
+// servers. Client pools need modest bandwidth (wireless-friendly);
+// the backup and storage flows towards the racks are fat
+// (fiber-territory); the interesting channels are in between.
+func LAN() *model.ConstraintGraph {
+	sites := map[string]geom.Point{
+		"rack1": geom.Pt(0, 0),
+		"rack2": geom.Pt(4, 2),
+		"bldgA": geom.Pt(120, 30),
+		"bldgB": geom.Pt(150, -40),
+		"bldgC": geom.Pt(90, 85),
+		"gw":    geom.Pt(-30, 10),
+	}
+	channels := []struct {
+		name     string
+		from, to string
+		bw       float64
+	}{
+		{"a-web", "bldgA", "rack1", 40}, // client traffic
+		{"b-web", "bldgB", "rack1", 40},
+		{"c-web", "bldgC", "rack1", 30},
+		{"a-push", "rack2", "bldgA", 25}, // content push
+		{"b-push", "rack2", "bldgB", 25},
+		{"backupA", "bldgA", "rack2", 300}, // nightly backup, fat
+		{"replic", "rack1", "rack2", 500},  // rack replication
+		{"uplink", "rack1", "gw", 600},     // WAN uplink
+		{"dnlink", "gw", "rack1", 600},
+	}
+	cg := model.NewConstraintGraph(geom.Euclidean)
+	for _, c := range channels {
+		src := cg.MustAddPort(model.Port{
+			Name: c.from + "." + c.name + ".out", Module: c.from, Position: sites[c.from],
+		})
+		dst := cg.MustAddPort(model.Port{
+			Name: c.to + "." + c.name + ".in", Module: c.to, Position: sites[c.to],
+		})
+		cg.MustAddChannel(model.Channel{Name: c.name, From: src, To: dst, Bandwidth: c.bw})
+	}
+	return cg
+}
+
+// LANLibrary is the fiber-vs-wireless library of the Section 2
+// scenario: a wireless link (54 Mbit/s, any distance within the campus,
+// cheap per meter — mostly amortized equipment) and a fiber link
+// (10 Gbit/s, trenching priced per meter at four wireless-equivalents),
+// plus inexpensive switches. The economics put the crossover at about
+// four wireless channels' worth of bandwidth (~200 Mbit/s): thin client
+// flows stay wireless, fat backbone flows go fiber.
+func LANLibrary() *library.Library {
+	return &library.Library{
+		Links: []library.Link{
+			{Name: "wireless", Bandwidth: 54, MaxSpan: math.Inf(1), CostPerLength: 1},
+			{Name: "fiber", Bandwidth: 10000, MaxSpan: math.Inf(1), CostPerLength: 4},
+		},
+		Nodes: []library.Node{
+			{Name: "switch-mux", Kind: library.Mux, Cost: 20},
+			{Name: "switch-demux", Kind: library.Demux, Cost: 20},
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package workloads
+
+import (
+	"repro/internal/geom"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+// MCM builds the third system class the paper's Section 2 lists: a
+// multi-chip multi-processor system. Four processor chips, a memory
+// controller hub and an I/O hub sit on a 300×200 mm board; channels are
+// the inter-chip fabric links. Distances are Manhattan millimeters
+// (board routing is rectilinear), bandwidths Gbit/s.
+func MCM() *model.ConstraintGraph {
+	chips := map[string]geom.Point{
+		"cpu0": geom.Pt(60, 60),
+		"cpu1": geom.Pt(60, 140),
+		"cpu2": geom.Pt(240, 60),
+		"cpu3": geom.Pt(240, 140),
+		"mch":  geom.Pt(150, 100), // memory controller hub
+		"ioh":  geom.Pt(150, 25),  // I/O hub
+	}
+	channels := []struct {
+		name     string
+		from, to string
+		bw       float64
+	}{
+		{"c0-mem", "cpu0", "mch", 24},
+		{"c1-mem", "cpu1", "mch", 24},
+		{"c2-mem", "cpu2", "mch", 24},
+		{"c3-mem", "cpu3", "mch", 24},
+		{"mem-c0", "mch", "cpu0", 24},
+		{"mem-c2", "mch", "cpu2", 24},
+		{"c0-c1", "cpu0", "cpu1", 12}, // cache-coherence ring segments
+		{"c1-c3", "cpu1", "cpu3", 12},
+		{"c3-c2", "cpu3", "cpu2", 12},
+		{"c2-c0", "cpu2", "cpu0", 12},
+		{"io-in", "ioh", "mch", 8},
+		{"io-out", "mch", "ioh", 8},
+	}
+	cg := model.NewConstraintGraph(geom.Manhattan)
+	for _, c := range channels {
+		src := cg.MustAddPort(model.Port{
+			Name: c.from + "." + c.name + ".out", Module: c.from, Position: chips[c.from],
+		})
+		dst := cg.MustAddPort(model.Port{
+			Name: c.to + "." + c.name + ".in", Module: c.to, Position: chips[c.to],
+		})
+		cg.MustAddChannel(model.Channel{Name: c.name, From: src, To: dst, Bandwidth: c.bw})
+	}
+	return cg
+}
+
+// MCMLibrary is the board-level library: a parallel PCB trace bundle
+// (16 Gbit/s, up to 120 mm before a redriver, priced per mm) and a
+// SerDes link (64 Gbit/s, up to 250 mm, pricier per mm), with redriver
+// chips as repeaters and switch chips as mux/demux.
+func MCMLibrary() *library.Library {
+	return &library.Library{
+		Links: []library.Link{
+			{Name: "trace", Bandwidth: 16, MaxSpan: 120, CostPerLength: 0.05, CostFixed: 0.5},
+			{Name: "serdes", Bandwidth: 64, MaxSpan: 250, CostPerLength: 0.12, CostFixed: 2},
+		},
+		Nodes: []library.Node{
+			{Name: "redriver", Kind: library.Repeater, Cost: 3},
+			{Name: "xbar-mux", Kind: library.Mux, Cost: 5},
+			{Name: "xbar-demux", Kind: library.Demux, Cost: 5},
+		},
+	}
+}

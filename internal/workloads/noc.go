@@ -1,0 +1,59 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+// NoC builds the on-chip aggregation study instance: eight cores of a
+// 3×3 tiled die (2×2 mm tiles) streaming to a memory controller in the
+// center tile, Manhattan norm. Merging-friendly by construction — the
+// traffic all converges on one hot spot, the canonical motivation for
+// the bus/NoC topologies that grew out of this paper's framework.
+func NoC() *model.ConstraintGraph {
+	cg := model.NewConstraintGraph(geom.Manhattan)
+	memPos := geom.Pt(3, 3)
+	idx := 0
+	for row := 0; row < 3; row++ {
+		for col := 0; col < 3; col++ {
+			if row == 1 && col == 1 {
+				continue // memory controller tile
+			}
+			idx++
+			corePos := geom.Pt(float64(col)*2+1, float64(row)*2+1)
+			core := cg.MustAddPort(model.Port{
+				Name:     fmt.Sprintf("core%d.out", idx),
+				Module:   fmt.Sprintf("core%d", idx),
+				Position: corePos,
+			})
+			mem := cg.MustAddPort(model.Port{
+				Name:     fmt.Sprintf("mem.in%d", idx),
+				Module:   "mem",
+				Position: memPos,
+			})
+			cg.MustAddChannel(model.Channel{
+				Name: fmt.Sprintf("core%d-mem", idx), From: core, To: mem, Bandwidth: 3.2,
+			})
+		}
+	}
+	return cg
+}
+
+// NoCLibrary is the on-chip library of the NoC study: a critical-length
+// wire (cost counts active elements only), inverter repeaters, and
+// router mux/demux pairs priced above a repeater.
+func NoCLibrary() *library.Library {
+	return &library.Library{
+		Links: []library.Link{
+			{Name: "wire", Bandwidth: 100, MaxSpan: 0.6, CostFixed: 1e-6},
+		},
+		Nodes: []library.Node{
+			{Name: "inverter", Kind: library.Repeater, Cost: 1},
+			{Name: "router-mux", Kind: library.Mux, Cost: 2},
+			{Name: "router-demux", Kind: library.Demux, Cost: 2},
+		},
+	}
+}

@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// RandomWANConfig parameterizes the random clustered-WAN generator used
+// by the scaling experiments (E8).
+type RandomWANConfig struct {
+	// Seed makes the instance reproducible.
+	Seed int64
+	// Clusters is the number of site clusters (≥ 1).
+	Clusters int
+	// Channels is the number of constraint arcs to generate.
+	Channels int
+	// Area is the side of the square region in km (default 200).
+	Area float64
+	// Spread is the intra-cluster standard deviation in km (default 4).
+	Spread float64
+	// MinBandwidth and MaxBandwidth bound the uniform channel
+	// requirements (defaults 5 and 10 Mbps).
+	MinBandwidth, MaxBandwidth float64
+	// InterClusterFraction is the probability that a channel crosses
+	// clusters (default 0.5); intra-cluster channels are rarely worth
+	// merging, inter-cluster ones often are.
+	InterClusterFraction float64
+}
+
+func (c RandomWANConfig) withDefaults() RandomWANConfig {
+	if c.Clusters <= 0 {
+		c.Clusters = 2
+	}
+	if c.Area <= 0 {
+		c.Area = 200
+	}
+	if c.Spread <= 0 {
+		c.Spread = 4
+	}
+	if c.MinBandwidth <= 0 {
+		c.MinBandwidth = 5
+	}
+	if c.MaxBandwidth < c.MinBandwidth {
+		c.MaxBandwidth = c.MinBandwidth + 5
+	}
+	if c.InterClusterFraction <= 0 {
+		c.InterClusterFraction = 0.5
+	}
+	return c
+}
+
+// RandomWAN generates a clustered WAN constraint graph: sites gather in
+// clusters (as in the paper's Figure 3, where A/B/C and D/E form two
+// groups) and channels connect random sites, biased toward
+// inter-cluster pairs.
+func RandomWAN(cfg RandomWANConfig) *model.ConstraintGraph {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cg := model.NewConstraintGraph(geom.Euclidean)
+
+	centers := make([]geom.Point, cfg.Clusters)
+	box := geom.BoundingBox{Min: geom.Pt(0, 0), Max: geom.Pt(cfg.Area, cfg.Area)}
+	for i := range centers {
+		centers[i] = geom.RandomInBox(r, box)
+	}
+	pick := func(cluster int) geom.Point {
+		c := centers[cluster]
+		return geom.Pt(c.X+r.NormFloat64()*cfg.Spread, c.Y+r.NormFloat64()*cfg.Spread)
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		cu := r.Intn(cfg.Clusters)
+		cv := cu
+		if cfg.Clusters > 1 && r.Float64() < cfg.InterClusterFraction {
+			for cv == cu {
+				cv = r.Intn(cfg.Clusters)
+			}
+		}
+		u := cg.MustAddPort(model.Port{
+			Name:     fmt.Sprintf("s%d", i),
+			Module:   fmt.Sprintf("cluster%d", cu),
+			Position: pick(cu),
+		})
+		v := cg.MustAddPort(model.Port{
+			Name:     fmt.Sprintf("d%d", i),
+			Module:   fmt.Sprintf("cluster%d", cv),
+			Position: pick(cv),
+		})
+		bw := cfg.MinBandwidth + r.Float64()*(cfg.MaxBandwidth-cfg.MinBandwidth)
+		cg.MustAddChannel(model.Channel{
+			Name: fmt.Sprintf("ch%d", i), From: u, To: v, Bandwidth: bw,
+		})
+	}
+	return cg
+}
+
+// RandomSoCConfig parameterizes the random on-chip generator.
+type RandomSoCConfig struct {
+	// Seed makes the instance reproducible.
+	Seed int64
+	// Modules is the number of floorplan modules (≥ 2).
+	Modules int
+	// Channels is the number of critical channels.
+	Channels int
+	// Die is the die side length in mm (default 6).
+	Die float64
+	// MinBandwidth and MaxBandwidth bound the channel word-rates
+	// (defaults 0.4 and 6.4).
+	MinBandwidth, MaxBandwidth float64
+}
+
+func (c RandomSoCConfig) withDefaults() RandomSoCConfig {
+	if c.Modules < 2 {
+		c.Modules = 8
+	}
+	if c.Die <= 0 {
+		c.Die = 6
+	}
+	if c.MinBandwidth <= 0 {
+		c.MinBandwidth = 0.4
+	}
+	if c.MaxBandwidth < c.MinBandwidth {
+		c.MaxBandwidth = c.MinBandwidth + 6
+	}
+	return c
+}
+
+// RandomSoC generates a Manhattan-norm on-chip instance: modules placed
+// uniformly on the die, channels between distinct random modules.
+func RandomSoC(cfg RandomSoCConfig) *model.ConstraintGraph {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cg := model.NewConstraintGraph(geom.Manhattan)
+	positions := make([]geom.Point, cfg.Modules)
+	box := geom.BoundingBox{Min: geom.Pt(0, 0), Max: geom.Pt(cfg.Die, cfg.Die)}
+	for i := range positions {
+		positions[i] = geom.RandomInBox(r, box)
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		mu := r.Intn(cfg.Modules)
+		mv := mu
+		for mv == mu {
+			mv = r.Intn(cfg.Modules)
+		}
+		u := cg.MustAddPort(model.Port{
+			Name:     fmt.Sprintf("m%d.ch%d.out", mu, i),
+			Module:   fmt.Sprintf("m%d", mu),
+			Position: positions[mu],
+		})
+		v := cg.MustAddPort(model.Port{
+			Name:     fmt.Sprintf("m%d.ch%d.in", mv, i),
+			Module:   fmt.Sprintf("m%d", mv),
+			Position: positions[mv],
+		})
+		bw := cfg.MinBandwidth + r.Float64()*(cfg.MaxBandwidth-cfg.MinBandwidth)
+		cg.MustAddChannel(model.Channel{
+			Name: fmt.Sprintf("ch%d", i), From: u, To: v, Bandwidth: bw,
+		})
+	}
+	return cg
+}

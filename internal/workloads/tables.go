@@ -1,0 +1,49 @@
+package workloads
+
+// Published values of the paper's Table 1 (Γ) and Table 2 (Δ), in km,
+// upper triangle in channel order a1…a8. These are the reference data
+// every reproduction run is compared against (experiments E1 and E2).
+
+// PaperTable1 returns Γ(aᵢ, aⱼ) as published; entries with j ≤ i are 0.
+func PaperTable1() [8][8]float64 {
+	rows := [][]float64{
+		{10.38, 14.05, 102.02, 105.18, 103.61, 8.60, 8.60},
+		{14.44, 102.40, 105.56, 104.00, 8.99, 8.99},
+		{106.07, 109.23, 107.67, 12.66, 12.66},
+		{197.20, 195.63, 100.62, 100.62},
+		{198.79, 103.78, 103.78},
+		{102.22, 102.22},
+		{7.21},
+	}
+	return expandUpper(rows)
+}
+
+// PaperTable2 returns Δ(aᵢ, aⱼ) as published; entries with j ≤ i are 0.
+func PaperTable2() [8][8]float64 {
+	rows := [][]float64{
+		{9.05, 14.05, 102.02, 97.02, 102.40, 200.09, 200.17},
+		{5.00, 103.61, 98.61, 104.00, 201.69, 201.58},
+		{98.61, 103.61, 107.67, 198.61, 198.42},
+		{5.00, 9.05, 100.00, 100.63},
+		{5.38, 103.07, 103.78},
+		{101.40, 102.22},
+		{7.21},
+	}
+	return expandUpper(rows)
+}
+
+func expandUpper(rows [][]float64) [8][8]float64 {
+	var m [8][8]float64
+	for i, row := range rows {
+		for k, v := range row {
+			m[i][i+1+k] = v
+		}
+	}
+	return m
+}
+
+// PaperCandidateCounts returns the per-k candidate-merging counts the
+// paper reports for Example 1 (k → count).
+func PaperCandidateCounts() map[int]int {
+	return map[int]int{2: 13, 3: 21, 4: 16, 5: 5}
+}
