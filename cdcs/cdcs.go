@@ -125,8 +125,11 @@ type (
 )
 
 // Options configures Synthesize. The zero value runs the full exact
-// flow with the paper-faithful defaults (max-index reference policy,
-// sum-rule trunk capacity, exact covering solver).
+// flow with the paper-faithful defaults: max-index reference policy
+// (this facade installs merging.MaxIndexRef; the internal merging
+// package's own zero value is the stronger AnyRef), sum-rule trunk
+// capacity, exact covering solver, and candidate pricing parallelized
+// across all CPUs.
 type Options struct {
 	// Greedy switches the covering step to the greedy heuristic
 	// (faster, possibly sub-optimal).
@@ -143,13 +146,30 @@ type Options struct {
 	// dense instances enumerate C(|A|, k) sets per level; capping
 	// trades completeness of the candidate set for runtime.
 	MaxMergeArity int
+	// MaxCandidates is a safety valve for large random instances: when
+	// positive, Synthesize returns an error as soon as candidate
+	// enumeration accepts more than this many merging candidates,
+	// instead of spending unbounded time pricing them. The abort is an
+	// error — no partial architecture is returned — so callers can
+	// retry with a MaxMergeArity cap or a coarser instance. Zero means
+	// unlimited.
+	MaxCandidates int
+	// Workers bounds the candidate-pricing worker pool. Zero means all
+	// CPUs; 1 forces the serial path. Any value produces an identical
+	// report and architecture — only wall-clock time changes.
+	Workers int
 }
 
 // Synthesize runs the full constraint-driven synthesis flow and returns
 // the verified minimum-cost implementation graph and the run report.
 func Synthesize(cg *ConstraintGraph, lib *Library, opt Options) (*ImplementationGraph, *Report, error) {
 	o := synth.Options{
-		Merging: merging.Options{Policy: merging.MaxIndexRef, MaxK: opt.MaxMergeArity},
+		Merging: merging.Options{
+			Policy:        merging.MaxIndexRef,
+			MaxK:          opt.MaxMergeArity,
+			MaxCandidates: opt.MaxCandidates,
+		},
+		Workers: opt.Workers,
 	}
 	if opt.StrictPruning {
 		o.Merging.Policy = merging.AnyRef

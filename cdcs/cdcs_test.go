@@ -68,6 +68,9 @@ func TestFacadeOptionVariants(t *testing.T) {
 		{StrictPruning: true},
 		{KeepDominated: true},
 		{MaxMergeArity: 2},
+		{Workers: 1},
+		{Workers: 4},
+		{MaxCandidates: 100},
 	} {
 		_, rep, err := Synthesize(cg, lib, opt)
 		if err != nil {
@@ -79,6 +82,58 @@ func TestFacadeOptionVariants(t *testing.T) {
 		if opt.Greedy && rep.Cost < exact.Cost-1e-9 {
 			t.Errorf("greedy beat the exact optimum: %v < %v", rep.Cost, exact.Cost)
 		}
+	}
+}
+
+// TestFacadeCandidateCap: the MaxCandidates safety valve must surface
+// through the facade as a synthesis error (no partial result), and a
+// generous cap must not disturb the flow.
+func TestFacadeCandidateCap(t *testing.T) {
+	_, lib := buildSystem(t)
+	// Four near-parallel channels: every pair and most larger subsets
+	// are merge candidates, comfortably exceeding a cap of 1.
+	cg := NewConstraintGraph(Euclidean)
+	for i := 0; i < 4; i++ {
+		u := cg.MustAddPort(Port{Name: "u" + string(rune('0'+i)), Position: Pt(0, float64(i))})
+		v := cg.MustAddPort(Port{Name: "v" + string(rune('0'+i)), Position: Pt(80, float64(i))})
+		cg.MustAddChannel(Channel{Name: "c" + string(rune('0'+i)), From: u, To: v, Bandwidth: 8})
+	}
+	ig, rep, err := Synthesize(cg, lib, Options{MaxCandidates: 1})
+	if err == nil {
+		t.Fatal("cap of 1 should abort enumeration on the dense parallel system")
+	}
+	if ig != nil || rep != nil {
+		t.Error("aborted synthesis must not return a partial result")
+	}
+	if !strings.Contains(err.Error(), "candidate cap") {
+		t.Errorf("abort error %q does not mention the cap", err)
+	}
+	if _, _, err := Synthesize(cg, lib, Options{MaxCandidates: 1000}); err != nil {
+		t.Errorf("generous cap aborted: %v", err)
+	}
+}
+
+// TestFacadeWorkersEquivalent: the public Workers knob must not change
+// the outcome, only the parallelism.
+func TestFacadeWorkersEquivalent(t *testing.T) {
+	cg, lib := buildSystem(t)
+	_, serial, err := Synthesize(cg, lib, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parallel, err := Synthesize(cg, lib, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Cost != parallel.Cost {
+		t.Errorf("Workers changed the optimum: %v vs %v", serial.Cost, parallel.Cost)
+	}
+	if len(serial.Candidates) != len(parallel.Candidates) {
+		t.Errorf("Workers changed the candidate count: %d vs %d",
+			len(serial.Candidates), len(parallel.Candidates))
+	}
+	if parallel.Workers != 4 {
+		t.Errorf("report workers = %d, want 4", parallel.Workers)
 	}
 }
 

@@ -26,7 +26,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig3, candidates, fig4, fig5, flowsim, lid, bwsweep, lan, baseline, steiner, ablation, scaling")
 	short := flag.Bool("short", false, "skip the slow sweeps (ablation, scaling)")
 	md := flag.Bool("md", false, "emit Markdown instead of plain text")
+	workers := flag.Int("workers", 0, "candidate-pricing worker pool size for every synthesis run (0 = all CPUs, 1 = serial)")
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	runners := []struct {
 		name string

@@ -50,6 +50,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the implementation graph as JSON to this file")
 	solver := flag.String("solver", "exact", "synthesis mode: exact, greedy (heuristic covering) or baseline (greedy agglomerative merging)")
 	simulate := flag.Bool("simulate", false, "validate the result with the flow simulator")
+	workers := flag.Int("workers", 0, "candidate-pricing worker pool size (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	cg, lib, err := loadInputs(*graphPath, *libPath, *example)
@@ -58,7 +59,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := synth.Options{Merging: merging.Options{Policy: merging.MaxIndexRef}}
+	opts := synth.Options{
+		Merging: merging.Options{Policy: merging.MaxIndexRef},
+		Workers: *workers,
+	}
 	var ig *impl.Graph
 	var rep *synth.Report
 	switch *solver {
@@ -181,6 +185,13 @@ func printReport(cg *model.ConstraintGraph, rep *synth.Report) {
 	fmt.Printf("mergings priced     : %d (infeasible %d, dominated %d)\n",
 		rep.PricedMergings, rep.InfeasibleMergings, rep.DominatedMergings)
 	fmt.Printf("solver optimal      : %v\n", rep.SolverOptimal)
+	if rep.Workers > 0 {
+		fmt.Printf("pricing workers     : %d\n", rep.Workers)
+		fmt.Printf("plan cache          : %d hits / %d misses (%.1f%% hit rate)\n",
+			rep.PlanCache.Hits, rep.PlanCache.Misses, 100*rep.PlanCache.HitRate())
+		fmt.Printf("phase timings       : enumerate %v, price %v, solve %v, materialize %v\n",
+			rep.Timings.Enumerate, rep.Timings.Price, rep.Timings.Solve, rep.Timings.Materialize)
+	}
 	fmt.Printf("elapsed             : %v\n\n", rep.Elapsed)
 
 	var rows [][]string

@@ -46,9 +46,9 @@ func BaselineComparison() Outcome {
 	for _, in := range instances {
 		w := in.cg()
 		start := time.Now()
-		_, exact, err := synth.Synthesize(w.cg, w.lib, synth.Options{
+		_, exact, err := synth.Synthesize(w.cg, w.lib, synthOpts(synth.Options{
 			Merging: merging.Options{Policy: merging.MaxIndexRef},
-		})
+		}))
 		exactTime := time.Since(start)
 		if err != nil {
 			return errorOutcome("E13", err)

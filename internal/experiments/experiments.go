@@ -22,6 +22,22 @@ import (
 	"repro/internal/workloads"
 )
 
+// workers is the Step 1c pricing-pool size every experiment's synthesis
+// runs use; 0 lets synth default to all CPUs.
+var workers int
+
+// SetWorkers fixes the candidate-pricing worker-pool size for all
+// experiment synthesis runs (0 = all CPUs, 1 = serial). cmd/cdcs-bench
+// exposes it as -workers so serial/parallel timings can be compared on
+// the same tables.
+func SetWorkers(n int) { workers = n }
+
+// synthOpts applies the package-wide worker setting to a run's options.
+func synthOpts(base synth.Options) synth.Options {
+	base.Workers = workers
+	return base
+}
+
 // Outcome is one experiment's result.
 type Outcome struct {
 	// ID is the experiment identifier ("E1").
@@ -194,9 +210,9 @@ func Candidates() Outcome {
 func Fig4() Outcome {
 	cg := workloads.WAN()
 	lib := workloads.WANLibrary()
-	ig, rep, err := synth.Synthesize(cg, lib, synth.Options{
+	ig, rep, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
-	})
+	}))
 	if err != nil {
 		return errorOutcome("E5", err)
 	}

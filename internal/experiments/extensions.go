@@ -19,9 +19,9 @@ import (
 func FlowValidation() Outcome {
 	cg := workloads.WAN()
 	lib := workloads.WANLibrary()
-	ig, _, err := synth.Synthesize(cg, lib, synth.Options{
+	ig, _, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
-	})
+	}))
 	if err != nil {
 		return errorOutcome("E9", err)
 	}

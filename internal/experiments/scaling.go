@@ -27,7 +27,7 @@ func Scaling(sizes []int) Outcome {
 			Seed: int64(1000 + n), Clusters: 3, Channels: n,
 		})
 		lib := workloads.WANLibrary()
-		opts := synth.Options{Merging: merging.Options{Policy: merging.MaxIndexRef}}
+		opts := synthOpts(synth.Options{Merging: merging.Options{Policy: merging.MaxIndexRef}})
 
 		start := time.Now()
 		_, exact, err := synth.Synthesize(cg, lib, opts)

@@ -34,9 +34,9 @@ func BandwidthSweep() Outcome {
 	sweep := []float64{1, 2, 3, 3.5, 3.8, 5, 8, 10, 15, 22}
 	for _, b := range sweep {
 		cg := wanWithBandwidth(b)
-		_, rep, err := synth.Synthesize(cg, lib, synth.Options{
+		_, rep, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
 			Merging: merging.Options{Policy: merging.MaxIndexRef},
-		})
+		}))
 		if err != nil {
 			return errorOutcome("E11", err)
 		}
@@ -117,9 +117,9 @@ func wanWithBandwidth(b float64) *model.ConstraintGraph {
 func LANCaseStudy() Outcome {
 	cg := workloads.LAN()
 	lib := workloads.LANLibrary()
-	_, rep, err := synth.Synthesize(cg, lib, synth.Options{
+	_, rep, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
-	})
+	}))
 	if err != nil {
 		return errorOutcome("E12", err)
 	}

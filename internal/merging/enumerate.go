@@ -9,13 +9,19 @@ import (
 
 // Options configures candidate enumeration.
 type Options struct {
-	// Policy selects the Lemma 3.2 reference-arc policy (default AnyRef).
+	// Policy selects the Lemma 3.2 reference-arc policy. The zero value
+	// at this layer is AnyRef, the strongest sound prune; the public
+	// cdcs facade instead installs MaxIndexRef as its default, matching
+	// the paper's incremental Figure 2 implementation. Both are sound,
+	// so the synthesis optimum is identical either way.
 	Policy RefPolicy
 	// MaxK caps the merging arity considered; zero means |A|.
 	MaxK int
-	// MaxCandidates aborts enumeration when the candidate count exceeds
-	// the cap (a safety valve for large random instances); zero means
-	// unlimited.
+	// MaxCandidates aborts enumeration — Enumerate returns an error and
+	// no partial result — as soon as the accepted candidate count
+	// across all levels exceeds the cap (a safety valve for large
+	// random instances whose candidate sets would take unbounded time
+	// to price); zero means unlimited.
 	MaxCandidates int
 	// DisableLemma31, DisableLemma32 and DisableTheorem32 switch off the
 	// respective prunes for ablation studies. Theorem 3.1 elimination is
@@ -39,10 +45,23 @@ type Result struct {
 	SetsTested int
 	// SetsPruned counts subsets rejected by the lemma/theorem tests.
 	SetsPruned int
+
+	// total is the running candidate count across all levels,
+	// maintained incrementally so the MaxCandidates cap check is O(1)
+	// per accepted subset instead of a rescan of ByK.
+	total int
+	// maxArity caches, per channel, the largest k at which it appears
+	// in a candidate set, filled in as candidates are accepted.
+	maxArity map[model.ChannelID]int
 }
 
 // TotalCandidates returns the number of candidate sets across all k.
 func (r *Result) TotalCandidates() int {
+	if r.total > 0 || r.maxArity != nil {
+		return r.total
+	}
+	// Hand-assembled Results (tests, external callers) lack the running
+	// counter; fall back to summing the map.
 	total := 0
 	for _, sets := range r.ByK {
 		total += len(sets)
@@ -56,6 +75,11 @@ func (r *Result) Count(k int) int { return len(r.ByK[k]) }
 // MaxArityOf returns the largest k at which the channel appears in a
 // candidate set (0 if it appears in none).
 func (r *Result) MaxArityOf(ch model.ChannelID) int {
+	if r.maxArity != nil {
+		return r.maxArity[ch]
+	}
+	// Hand-assembled Results lack the precomputed map; fall back to the
+	// full scan.
 	max := 0
 	for k, sets := range r.ByK {
 		for _, set := range sets {
@@ -96,6 +120,7 @@ func Enumerate(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*R
 	res := &Result{
 		ByK:          make(map[int][][]model.ChannelID),
 		EliminatedAt: make(map[model.ChannelID]int),
+		maxArity:     make(map[model.ChannelID]int),
 	}
 
 	active := make([]int, 0, n)
@@ -134,10 +159,14 @@ func Enumerate(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*R
 				ids[i] = model.ChannelID(a)
 			}
 			sets = append(sets, ids)
+			res.total++
 			for _, a := range subset {
 				inCandidate[a] = true
+				// Levels run in increasing k, so the latest level a
+				// channel appears in is its max arity.
+				res.maxArity[model.ChannelID(a)] = k
 			}
-			if opt.MaxCandidates > 0 && res.TotalCandidates()+len(sets) > opt.MaxCandidates {
+			if opt.MaxCandidates > 0 && res.total > opt.MaxCandidates {
 				abort = true
 				return false
 			}

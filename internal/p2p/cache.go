@@ -1,0 +1,88 @@
+package p2p
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/library"
+)
+
+// Planner memoizes BestPlan over one fixed library. The synthesis flow
+// re-solves identical point-to-point sub-problems constantly: every
+// pattern-search probe in place.Optimize prices k access legs and a
+// trunk, probes revisit positions across iterations, and candidates
+// sharing channels share endpoint geometry. A Planner collapses those
+// repeats into map lookups.
+//
+// The cache key is the full BestPlan input except the library —
+// (distance, bandwidth, Options) — so one Planner must only ever be
+// asked about the library it was built for. Both successful plans and
+// infeasibility errors are cached: a requirement no link can satisfy is
+// re-asked thousands of times by a pattern search walking an infeasible
+// region, and the negative answer is as reusable as a plan.
+//
+// All methods are safe for concurrent use; BestPlan is deterministic,
+// so concurrent fills of the same key store identical values and cache
+// hits can never change a result.
+type Planner struct {
+	lib    *library.Library
+	memo   sync.Map // planKey -> planResult
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// planKey identifies one BestPlan sub-problem. Options is a small
+// comparable struct, so the whole key is comparable.
+type planKey struct {
+	d, b float64
+	opt  Options
+}
+
+type planResult struct {
+	plan Plan
+	err  error
+}
+
+// NewPlanner returns an empty memo table over lib.
+func NewPlanner(lib *library.Library) *Planner {
+	return &Planner{lib: lib}
+}
+
+// Library returns the library the planner memoizes over.
+func (p *Planner) Library() *library.Library { return p.lib }
+
+// BestPlan is a memoized BestPlan(d, b, p.Library(), opt).
+func (p *Planner) BestPlan(d, b float64, opt Options) (Plan, error) {
+	key := planKey{d: d, b: b, opt: opt}
+	if v, ok := p.memo.Load(key); ok {
+		p.hits.Add(1)
+		r := v.(planResult)
+		return r.plan, r.err
+	}
+	p.misses.Add(1)
+	plan, err := BestPlan(d, b, p.lib, opt)
+	p.memo.Store(key, planResult{plan: plan, err: err})
+	return plan, err
+}
+
+// CacheStats are a Planner's lifetime counters.
+type CacheStats struct {
+	// Hits counts BestPlan calls answered from the memo table.
+	Hits int64
+	// Misses counts calls that had to solve the sub-problem.
+	Misses int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 for an unused planner.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the hit/miss counters.
+func (p *Planner) Stats() CacheStats {
+	return CacheStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+}

@@ -1,0 +1,153 @@
+package p2p
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/library"
+)
+
+func cacheTestLib() *library.Library {
+	return &library.Library{
+		Links: []library.Link{
+			{Name: "radio", Bandwidth: 11, MaxSpan: math.Inf(1), CostPerLength: 2},
+			{Name: "optical", Bandwidth: 1000, MaxSpan: math.Inf(1), CostPerLength: 4},
+			{Name: "short", Bandwidth: 50, MaxSpan: 10, CostFixed: 3},
+		},
+		Nodes: []library.Node{
+			{Name: "rep", Kind: library.Repeater, Cost: 1},
+			{Name: "mux", Kind: library.Mux},
+			{Name: "demux", Kind: library.Demux},
+		},
+	}
+}
+
+// TestPlannerMatchesBestPlan: the memoized planner must be a pure
+// lookup-table view of BestPlan — identical plans, identical errors,
+// on first (miss) and second (hit) ask alike.
+func TestPlannerMatchesBestPlan(t *testing.T) {
+	lib := cacheTestLib()
+	pl := NewPlanner(lib)
+	cases := []struct {
+		d, b float64
+		opt  Options
+	}{
+		{5, 10, Options{}},
+		{5, 10, Options{MaxChains: 1}},
+		{100, 10, Options{}},
+		{100, 25, Options{}},
+		{3, 40, Options{}},
+		{42, 2000, Options{MaxChains: 1}}, // infeasible single-chain
+		{7, 10, Options{ChargeSwitchesOnDuplication: true}},
+	}
+	for round := 0; round < 2; round++ {
+		for _, c := range cases {
+			want, wantErr := BestPlan(c.d, c.b, lib, c.opt)
+			got, gotErr := pl.BestPlan(c.d, c.b, c.opt)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("round %d (%g,%g,%+v): err %v vs %v", round, c.d, c.b, c.opt, gotErr, wantErr)
+			}
+			if wantErr == nil && got != want {
+				t.Fatalf("round %d (%g,%g,%+v): plan %+v vs %+v", round, c.d, c.b, c.opt, got, want)
+			}
+		}
+	}
+	s := pl.Stats()
+	if s.Misses != int64(len(cases)) || s.Hits != int64(len(cases)) {
+		t.Errorf("stats = %+v, want %d misses and %d hits", s, len(cases), len(cases))
+	}
+}
+
+// TestPlannerDistinguishesOptions: the same requirement under different
+// Options must occupy distinct cache slots (a trunk forced to one chain
+// must not be answered with a multi-chain plan cached for access legs).
+func TestPlannerDistinguishesOptions(t *testing.T) {
+	pl := NewPlanner(cacheTestLib())
+	multi, err := pl.BestPlan(5, 60, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := pl.BestPlan(5, 60, Options{MaxChains: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Chains <= 1 {
+		t.Fatalf("expected duplication for bandwidth 60, got %+v", multi)
+	}
+	if single.Chains != 1 {
+		t.Fatalf("MaxChains=1 plan has %d chains", single.Chains)
+	}
+}
+
+// TestPlannerCachesErrors: an infeasible requirement is answered from
+// cache on the second ask (one miss total).
+func TestPlannerCachesErrors(t *testing.T) {
+	pl := NewPlanner(cacheTestLib())
+	for i := 0; i < 3; i++ {
+		if _, err := pl.BestPlan(100, 5000, Options{MaxChains: 1}); err == nil {
+			t.Fatal("expected infeasibility error")
+		}
+	}
+	s := pl.Stats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 2 hits", s)
+	}
+}
+
+// TestPlannerConcurrent hammers one planner from many goroutines over a
+// shared key set; run under -race this proves the table is safe, and
+// every answer must equal the serial BestPlan.
+func TestPlannerConcurrent(t *testing.T) {
+	lib := cacheTestLib()
+	pl := NewPlanner(lib)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := float64(1 + (i+w)%17)
+				b := float64(5 + (i*w)%40)
+				opt := Options{}
+				if i%3 == 0 {
+					opt.MaxChains = 1
+				}
+				got, gotErr := pl.BestPlan(d, b, opt)
+				want, wantErr := BestPlan(d, b, lib, opt)
+				if (gotErr == nil) != (wantErr == nil) || (gotErr == nil && got != want) {
+					errs <- &mismatchError{d: d, b: b}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	s := pl.Stats()
+	if s.Hits+s.Misses != workers*200 {
+		t.Errorf("counter total %d, want %d", s.Hits+s.Misses, workers*200)
+	}
+	if s.Hits == 0 {
+		t.Error("no cache hits across overlapping workers")
+	}
+}
+
+type mismatchError struct{ d, b float64 }
+
+func (e *mismatchError) Error() string { return "cached plan diverged from BestPlan" }
+
+// TestCacheStatsHitRate covers the derived ratio.
+func TestCacheStatsHitRate(t *testing.T) {
+	if r := (CacheStats{}).HitRate(); r != 0 {
+		t.Errorf("empty hit rate = %v", r)
+	}
+	if r := (CacheStats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", r)
+	}
+}

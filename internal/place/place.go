@@ -34,6 +34,14 @@ import (
 type Options struct {
 	// P2P configures the embedded point-to-point planner.
 	P2P p2p.Options
+	// Planner, when non-nil, memoizes every point-to-point sub-problem
+	// the optimization prices (access legs and trunk). It must have been
+	// built over the same library Optimize is called with. When nil,
+	// Optimize uses a private per-call planner, so repeated probes
+	// within one pattern search still hit the memo table; sharing one
+	// planner across calls (as synth.Synthesize does) additionally
+	// reuses sub-problems across candidates.
+	Planner *p2p.Planner
 	// MaxIter bounds pattern-search iterations per start; zero means 120.
 	MaxIter int
 	// Capacity selects how the trunk is sized: the sum of merged
@@ -113,20 +121,25 @@ func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.
 	trunkOpt := opt.P2P
 	trunkOpt.MaxChains = 1
 
+	planner := opt.Planner
+	if planner == nil {
+		planner = p2p.NewPlanner(lib)
+	}
+
 	// eval prices the structure at given hub positions without building
 	// the full candidate (the search calls it thousands of times).
 	eval := func(x1, x2 geom.Point) float64 {
-		trunk, err := p2p.BestPlan(norm.Distance(x1, x2), trunkBW, lib, trunkOpt)
+		trunk, err := planner.BestPlan(norm.Distance(x1, x2), trunkBW, trunkOpt)
 		if err != nil {
 			return math.Inf(1)
 		}
 		total := mux.Cost + demux.Cost + trunk.Cost
 		for i := range channels {
-			in, err := p2p.BestPlan(norm.Distance(sources[i], x1), bws[i], lib, opt.P2P)
+			in, err := planner.BestPlan(norm.Distance(sources[i], x1), bws[i], opt.P2P)
 			if err != nil {
 				return math.Inf(1)
 			}
-			out, err := p2p.BestPlan(norm.Distance(x2, dests[i]), bws[i], lib, opt.P2P)
+			out, err := planner.BestPlan(norm.Distance(x2, dests[i]), bws[i], opt.P2P)
 			if err != nil {
 				return math.Inf(1)
 			}
@@ -143,18 +156,18 @@ func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.
 			MuxNode:   mux,
 			DemuxNode: demux,
 		}
-		trunk, err := p2p.BestPlan(norm.Distance(x1, x2), trunkBW, lib, trunkOpt)
+		trunk, err := planner.BestPlan(norm.Distance(x1, x2), trunkBW, trunkOpt)
 		if err != nil {
 			return nil, err
 		}
 		cand.TrunkPlan = trunk
 		total := mux.Cost + demux.Cost + trunk.Cost
 		for i := range channels {
-			in, err := p2p.BestPlan(norm.Distance(sources[i], x1), bws[i], lib, opt.P2P)
+			in, err := planner.BestPlan(norm.Distance(sources[i], x1), bws[i], opt.P2P)
 			if err != nil {
 				return nil, err
 			}
-			out, err := p2p.BestPlan(norm.Distance(x2, dests[i]), bws[i], lib, opt.P2P)
+			out, err := planner.BestPlan(norm.Distance(x2, dests[i]), bws[i], opt.P2P)
 			if err != nil {
 				return nil, err
 			}

@@ -19,6 +19,8 @@ package synth
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -56,6 +58,21 @@ type Options struct {
 	// paper discards these ("the algorithm discards all the sub-optimal
 	// local solutions"); keeping them only grows the covering instance.
 	KeepDominated bool
+	// Workers bounds the candidate-pricing worker pool (Step 1c, the
+	// dominant cost of the flow). Zero or negative means
+	// runtime.NumCPU(); 1 prices serially on the calling goroutine. The
+	// results are collected in enumeration order and every pricing
+	// sub-problem is a pure function of its candidate set, so the
+	// report — candidate order, costs, counters — and the synthesized
+	// graph are identical for every worker count.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
 }
 
 // Candidate describes one local solution considered by the covering
@@ -99,8 +116,30 @@ type Report struct {
 	UCPStats ucp.Stats
 	// SolverOptimal is true when the covering solver proved optimality.
 	SolverOptimal bool
+	// PlanCache reports the run's memoized point-to-point planner: how
+	// many BestPlan sub-problems were answered from the memo table
+	// (shared by Step 1a and every Step 1c pricing) versus solved.
+	PlanCache p2p.CacheStats
+	// Workers is the pricing worker-pool size the run actually used.
+	Workers int
+	// Timings breaks Elapsed into the flow's phases.
+	Timings Timings
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
+}
+
+// Timings are the per-phase wall-clock durations of one synthesis run.
+type Timings struct {
+	// Enumerate covers local solution generation Steps 1a–1b: optimum
+	// point-to-point planning plus candidate-merging enumeration.
+	Enumerate time.Duration
+	// Price covers Step 1c: placement-pricing every surviving merging.
+	Price time.Duration
+	// Solve covers Step 2: the unate covering solver.
+	Solve time.Duration
+	// Materialize covers building and verifying the implementation
+	// graph from the selected candidates.
+	Materialize time.Duration
 }
 
 // SavingsPercent returns how much cheaper the synthesized architecture
@@ -142,13 +181,24 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 	if (opt.Place.P2P == p2p.Options{}) {
 		opt.Place.P2P = opt.P2P
 	}
+	// One memo table serves the whole run: Step 1a's per-channel plans
+	// and every access-leg/trunk sub-problem of Step 1c. BestPlan is a
+	// pure function of (distance, bandwidth, options) over the library,
+	// so sharing the table across pricing workers cannot change any
+	// result.
+	planner := p2p.NewPlanner(lib)
+	if opt.Place.Planner == nil {
+		opt.Place.Planner = planner
+	}
+	report.Workers = opt.workers()
 
 	// --- Step 1a: optimum point-to-point plans. ---
+	phase := time.Now()
 	n := cg.NumChannels()
 	p2pPlans := make([]p2p.Plan, n)
 	for i := 0; i < n; i++ {
 		ch := model.ChannelID(i)
-		plan, err := p2p.BestPlan(cg.Distance(ch), cg.Bandwidth(ch), lib, opt.P2P)
+		plan, err := planner.BestPlan(cg.Distance(ch), cg.Bandwidth(ch), opt.P2P)
 		if err != nil {
 			return nil, nil, fmt.Errorf("synth: channel %q: %w", cg.Channel(ch).Name, err)
 		}
@@ -162,8 +212,10 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 		return nil, nil, err
 	}
 	report.Enumeration = enum
+	report.Timings.Enumerate = time.Since(phase)
 
 	// --- Step 1c: price every candidate. ---
+	phase = time.Now()
 	for i := 0; i < n; i++ {
 		plan := p2pPlans[i]
 		report.Candidates = append(report.Candidates, Candidate{
@@ -173,34 +225,11 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 			Plan:     &plan,
 		})
 	}
-	for k := 2; k <= n; k++ {
-		for _, set := range enum.ByK[k] {
-			cand, err := place.Optimize(cg, lib, set, opt.Place)
-			if err != nil {
-				report.InfeasibleMergings++
-				continue
-			}
-			if !opt.KeepDominated {
-				var alt float64
-				for _, ch := range set {
-					alt += p2pPlans[ch].Cost
-				}
-				if cand.Cost >= alt-1e-9 {
-					report.DominatedMergings++
-					continue
-				}
-			}
-			report.PricedMergings++
-			report.Candidates = append(report.Candidates, Candidate{
-				Channels: append([]model.ChannelID(nil), set...),
-				Kind:     "merge",
-				Cost:     cand.Cost,
-				Merge:    cand,
-			})
-		}
-	}
+	priceCandidates(cg, lib, enum, p2pPlans, opt, report)
+	report.Timings.Price = time.Since(phase)
 
 	// --- Step 2: weighted unate covering. ---
+	phase = time.Now()
 	m := ucp.NewMatrix(n)
 	for idx, c := range report.Candidates {
 		rows := make([]int, len(c.Channels))
@@ -233,14 +262,97 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 	for _, j := range sol.Columns {
 		report.Candidates[j].Selected = true
 	}
+	report.Timings.Solve = time.Since(phase)
 
 	// --- Materialize the selected candidates. ---
+	phase = time.Now()
 	ig, err := materialize(cg, lib, report)
 	if err != nil {
 		return nil, nil, err
 	}
+	report.Timings.Materialize = time.Since(phase)
+	report.PlanCache = planner.Stats()
 	report.Elapsed = time.Since(start)
 	return ig, report, nil
+}
+
+// priceCandidates runs Step 1c — placement-pricing every enumerated
+// merging — over a bounded worker pool. Candidate sets are independent
+// sub-problems, so they fan out freely; results are collected into a
+// slice indexed by enumeration order and appended to the report
+// serially, which keeps the candidate sequence, the counters and hence
+// the covering instance identical to a single-worker run.
+func priceCandidates(
+	cg *model.ConstraintGraph, lib *library.Library,
+	enum *merging.Result, p2pPlans []p2p.Plan,
+	opt Options, report *Report,
+) {
+	var sets [][]model.ChannelID
+	for k := 2; k <= len(p2pPlans); k++ {
+		sets = append(sets, enum.ByK[k]...)
+	}
+	if len(sets) == 0 {
+		return
+	}
+
+	type priced struct {
+		cand *place.Candidate
+		err  error
+	}
+	results := make([]priced, len(sets))
+	workers := opt.workers()
+	if workers > len(sets) {
+		workers = len(sets)
+	}
+	if workers <= 1 {
+		for i, set := range sets {
+			cand, err := place.Optimize(cg, lib, set, opt.Place)
+			results[i] = priced{cand: cand, err: err}
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					cand, err := place.Optimize(cg, lib, sets[i], opt.Place)
+					results[i] = priced{cand: cand, err: err}
+				}
+			}()
+		}
+		for i := range sets {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	for i, set := range sets {
+		cand, err := results[i].cand, results[i].err
+		if err != nil {
+			report.InfeasibleMergings++
+			continue
+		}
+		if !opt.KeepDominated {
+			var alt float64
+			for _, ch := range set {
+				alt += p2pPlans[ch].Cost
+			}
+			if cand.Cost >= alt-1e-9 {
+				report.DominatedMergings++
+				continue
+			}
+		}
+		report.PricedMergings++
+		report.Candidates = append(report.Candidates, Candidate{
+			Channels: append([]model.ChannelID(nil), set...),
+			Kind:     "merge",
+			Cost:     cand.Cost,
+			Merge:    cand,
+		})
+	}
 }
 
 // materialize builds the implementation graph from the selected
