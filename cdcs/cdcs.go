@@ -37,6 +37,9 @@
 package cdcs
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/flowsim"
 	"repro/internal/geom"
 	"repro/internal/impl"
@@ -44,6 +47,7 @@ import (
 	"repro/internal/merging"
 	"repro/internal/model"
 	"repro/internal/synth"
+	"repro/internal/ucp"
 	"repro/internal/viz"
 )
 
@@ -122,6 +126,24 @@ type (
 	Report = synth.Report
 	// Candidate is one local solution considered by the covering step.
 	Candidate = synth.Candidate
+	// Degradation is the Report section recording what a deadline,
+	// per-phase budget, or candidate cap cut short; its zero value
+	// means the run completed in full.
+	Degradation = synth.Degradation
+	// PricingPanicError is the typed error a panic inside a pricing
+	// worker is converted to; match with errors.As.
+	PricingPanicError = synth.PricingPanicError
+)
+
+// Typed sentinel errors, distinguishable with errors.Is.
+var (
+	// ErrCanceled: the context was already dead before synthesis
+	// started (mid-run deadlines degrade instead of erroring).
+	ErrCanceled = synth.ErrCanceled
+	// ErrInfeasible: the covering instance has an uncoverable row.
+	ErrInfeasible = ucp.ErrInfeasible
+	// ErrCandidateCap: MaxCandidates was exceeded in abort mode.
+	ErrCandidateCap = merging.ErrCandidateCap
 )
 
 // Options configures Synthesize. The zero value runs the full exact
@@ -147,22 +169,42 @@ type Options struct {
 	// trades completeness of the candidate set for runtime.
 	MaxMergeArity int
 	// MaxCandidates is a safety valve for large random instances: when
-	// positive, Synthesize returns an error as soon as candidate
-	// enumeration accepts more than this many merging candidates,
-	// instead of spending unbounded time pricing them. The abort is an
-	// error — no partial architecture is returned — so callers can
-	// retry with a MaxMergeArity cap or a coarser instance. Zero means
-	// unlimited.
+	// positive, it caps how many merging candidates enumeration may
+	// accept instead of spending unbounded time pricing them. By
+	// default hitting the cap aborts with an error wrapping
+	// ErrCandidateCap (no partial architecture), so callers can retry
+	// with a MaxMergeArity cap or a coarser instance; with
+	// TruncateCandidates set, enumeration instead stops at the cap and
+	// synthesis continues over the truncated candidate set, recording
+	// the cut in Report.Degradation. Zero means unlimited.
 	MaxCandidates int
+	// TruncateCandidates switches MaxCandidates from abort to
+	// truncate-and-mark (graceful degradation).
+	TruncateCandidates bool
 	// Workers bounds the candidate-pricing worker pool. Zero means all
 	// CPUs; 1 forces the serial path. Any value produces an identical
 	// report and architecture — only wall-clock time changes.
 	Workers int
+	// Timeout bounds the run's wall clock with anytime semantics: when
+	// it expires mid-run, Synthesize still returns a feasible verified
+	// architecture — possibly sub-optimal, at worst all point-to-point
+	// — with Report.Degradation describing what was cut short and
+	// bounding the optimality gap. Zero means no deadline.
+	Timeout time.Duration
 }
 
 // Synthesize runs the full constraint-driven synthesis flow and returns
 // the verified minimum-cost implementation graph and the run report.
 func Synthesize(cg *ConstraintGraph, lib *Library, opt Options) (*ImplementationGraph, *Report, error) {
+	return SynthesizeContext(context.Background(), cg, lib, opt)
+}
+
+// SynthesizeContext is Synthesize under cooperative cancellation: a
+// context that is already dead on entry returns ErrCanceled, and a
+// deadline hitting mid-run degrades the result (see Options.Timeout)
+// instead of erroring, so a service calling this under load never
+// hangs, panics, or comes back empty-handed on a feasible instance.
+func SynthesizeContext(ctx context.Context, cg *ConstraintGraph, lib *Library, opt Options) (*ImplementationGraph, *Report, error) {
 	o := synth.Options{
 		Merging: merging.Options{
 			Policy:        merging.MaxIndexRef,
@@ -170,6 +212,10 @@ func Synthesize(cg *ConstraintGraph, lib *Library, opt Options) (*Implementation
 			MaxCandidates: opt.MaxCandidates,
 		},
 		Workers: opt.Workers,
+		Timeout: opt.Timeout,
+	}
+	if opt.TruncateCandidates {
+		o.Merging.CapMode = merging.CapTruncate
 	}
 	if opt.StrictPruning {
 		o.Merging.Policy = merging.AnyRef
@@ -178,7 +224,7 @@ func Synthesize(cg *ConstraintGraph, lib *Library, opt Options) (*Implementation
 		o.Solver = synth.GreedySolver
 	}
 	o.KeepDominated = opt.KeepDominated
-	return synth.Synthesize(cg, lib, o)
+	return synth.SynthesizeContext(ctx, cg, lib, o)
 }
 
 // Verify checks an implementation graph against every Definition 2.4

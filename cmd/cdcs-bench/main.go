@@ -10,25 +10,57 @@
 //	                           #   flowsim lid bwsweep lan baseline steiner ablation scaling
 //	cdcs-bench -short          # skip the slow sweeps (ablation, scaling)
 //	cdcs-bench -md             # emit Markdown (EXPERIMENTS.md-style sections)
+//	cdcs-bench -timeout 2s     # per-synthesis-run deadline (anytime degradation)
+//	cdcs-bench -json out.json  # also write a machine-readable baseline
+//	                           #   (per-experiment pass/fail + wall time);
+//	                           #   BENCH_seed.json in the repo root is the
+//	                           #   committed reference trajectory
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
+
+// benchBaseline is the machine-readable run record written by -json: a
+// perf/regression trajectory point for comparison across commits.
+type benchBaseline struct {
+	GoVersion string           `json:"goVersion"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	NumCPU    int              `json:"numCPU"`
+	Workers   int              `json:"workers"`
+	Timeout   string           `json:"timeout,omitempty"`
+	Short     bool             `json:"short"`
+	Runs      []benchRunRecord `json:"runs"`
+}
+
+type benchRunRecord struct {
+	ID        string  `json:"id"`
+	Name      string  `json:"name"`
+	Title     string  `json:"title"`
+	Passed    bool    `json:"passed"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig3, candidates, fig4, fig5, flowsim, lid, bwsweep, lan, baseline, steiner, ablation, scaling")
 	short := flag.Bool("short", false, "skip the slow sweeps (ablation, scaling)")
 	md := flag.Bool("md", false, "emit Markdown instead of plain text")
 	workers := flag.Int("workers", 0, "candidate-pricing worker pool size for every synthesis run (0 = all CPUs, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-synthesis-run deadline for every experiment (0 = none); expired runs degrade instead of hanging")
+	jsonPath := flag.String("json", "", "write a machine-readable baseline (per-experiment pass/fail and wall time) to this file")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+	experiments.SetTimeout(*timeout)
 
 	runners := []struct {
 		name string
@@ -51,6 +83,18 @@ func main() {
 		{"scaling", true, func() experiments.Outcome { return experiments.Scaling(nil) }},
 	}
 
+	baseline := benchBaseline{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   *workers,
+		Short:     *short,
+	}
+	if *timeout > 0 {
+		baseline.Timeout = timeout.String()
+	}
+
 	allPassed := true
 	matched := false
 	for _, r := range runners {
@@ -61,7 +105,16 @@ func main() {
 			continue
 		}
 		matched = true
+		runStart := time.Now()
 		o := r.run()
+		elapsed := time.Since(runStart)
+		baseline.Runs = append(baseline.Runs, benchRunRecord{
+			ID:        o.ID,
+			Name:      r.name,
+			Title:     o.Title,
+			Passed:    o.Passed(),
+			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		})
 		if *md {
 			fmt.Print(report.MarkdownSection(o.ID, o.Title, o.Text, o.Records))
 		} else {
@@ -88,6 +141,19 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, strings.Join(names, ", "))
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(baseline, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs-bench: encode baseline:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs-bench: write baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written to %s\n", *jsonPath)
 	}
 	if !allPassed {
 		os.Exit(1)

@@ -6,6 +6,12 @@
 //
 //	cdcs -graph wan.json -lib wan-lib.json [-dot out.dot] [-solver exact|greedy]
 //	cdcs -example wan|mpeg4 [-dot out.dot] [-svg out.svg]   # built-in instance
+//	cdcs -example wan -timeout 100ms                        # deadline-bounded run
+//
+// With -timeout the run has anytime semantics: on deadline the flow
+// degrades to the best feasible architecture found so far (verified,
+// possibly sub-optimal) and the report carries a degradation section
+// with an optimality-gap bound; the exit code stays 0.
 //
 // The graph JSON schema matches model.ConstraintGraph's MarshalJSON:
 //
@@ -27,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/flowsim"
@@ -51,6 +58,7 @@ func main() {
 	solver := flag.String("solver", "exact", "synthesis mode: exact, greedy (heuristic covering) or baseline (greedy agglomerative merging)")
 	simulate := flag.Bool("simulate", false, "validate the result with the flow simulator")
 	workers := flag.Int("workers", 0, "candidate-pricing worker pool size (0 = all CPUs, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "overall synthesis deadline (0 = none); on expiry the run degrades to the best feasible architecture instead of failing")
 	flag.Parse()
 
 	cg, lib, err := loadInputs(*graphPath, *libPath, *example)
@@ -62,6 +70,7 @@ func main() {
 	opts := synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
 		Workers: *workers,
+		Timeout: *timeout,
 	}
 	var ig *impl.Graph
 	var rep *synth.Report
@@ -94,55 +103,66 @@ func main() {
 	printStats(ig)
 
 	if *simulate {
-		res, err := flowsim.Simulate(ig, flowsim.Config{Ticks: 600})
-		if err != nil {
+		if err := runSimulation(ig); err != nil {
 			fmt.Fprintln(os.Stderr, "cdcs: simulate:", err)
 			os.Exit(1)
 		}
-		fmt.Println("flow simulation:")
-		var rows [][]string
-		for _, c := range res.Channels {
-			rows = append(rows, []string{
-				c.Name,
-				fmt.Sprintf("%.2f", c.Offered),
-				fmt.Sprintf("%.2f", c.Delivered),
-				map[bool]string{true: "yes", false: "NO"}[c.Satisfied()],
-			})
-		}
-		fmt.Println(report.Table([]string{"channel", "offered", "delivered", "satisfied"}, rows))
-		if !res.AllSatisfied() {
-			fmt.Fprintln(os.Stderr, "cdcs: simulation found starved channels")
-			os.Exit(1)
-		}
 	}
+	if err := writeOutputs(ig, *dotPath, *svgPath, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "cdcs:", err)
+		os.Exit(1)
+	}
+}
 
-	if *dotPath != "" {
-		if err := os.WriteFile(*dotPath, []byte(ig.Dot()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "cdcs:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nDOT written to %s\n", *dotPath)
+func runSimulation(ig *impl.Graph) error {
+	res, err := flowsim.Simulate(ig, flowsim.Config{Ticks: 600})
+	if err != nil {
+		return err
 	}
-	if *svgPath != "" {
+	fmt.Println("flow simulation:")
+	var rows [][]string
+	for _, c := range res.Channels {
+		rows = append(rows, []string{
+			c.Name,
+			fmt.Sprintf("%.2f", c.Offered),
+			fmt.Sprintf("%.2f", c.Delivered),
+			map[bool]string{true: "yes", false: "NO"}[c.Satisfied()],
+		})
+	}
+	fmt.Println(report.Table([]string{"channel", "offered", "delivered", "satisfied"}, rows))
+	if !res.AllSatisfied() {
+		return fmt.Errorf("simulation found starved channels")
+	}
+	return nil
+}
+
+// writeOutputs writes every requested output file; any JSON-encode or
+// file-write error aborts with a non-zero exit through the caller.
+func writeOutputs(ig *impl.Graph, dotPath, svgPath, jsonPath string) error {
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(ig.Dot()), 0o644); err != nil {
+			return fmt.Errorf("write DOT: %w", err)
+		}
+		fmt.Printf("\nDOT written to %s\n", dotPath)
+	}
+	if svgPath != "" {
 		svg := viz.Implementation(ig, viz.Options{ShowLabels: true})
-		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "cdcs:", err)
-			os.Exit(1)
+		if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+			return fmt.Errorf("write SVG: %w", err)
 		}
-		fmt.Printf("SVG written to %s\n", *svgPath)
+		fmt.Printf("SVG written to %s\n", svgPath)
 	}
-	if *jsonPath != "" {
+	if jsonPath != "" {
 		data, err := json.MarshalIndent(ig, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cdcs:", err)
-			os.Exit(1)
+			return fmt.Errorf("encode JSON: %w", err)
 		}
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "cdcs:", err)
-			os.Exit(1)
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return fmt.Errorf("write JSON: %w", err)
 		}
-		fmt.Printf("JSON written to %s\n", *jsonPath)
+		fmt.Printf("JSON written to %s\n", jsonPath)
 	}
+	return nil
 }
 
 func loadInputs(graphPath, libPath, example string) (*model.ConstraintGraph, *library.Library, error) {
@@ -185,6 +205,7 @@ func printReport(cg *model.ConstraintGraph, rep *synth.Report) {
 	fmt.Printf("mergings priced     : %d (infeasible %d, dominated %d)\n",
 		rep.PricedMergings, rep.InfeasibleMergings, rep.DominatedMergings)
 	fmt.Printf("solver optimal      : %v\n", rep.SolverOptimal)
+	fmt.Printf("result optimal      : %v\n", rep.ResultOptimal())
 	if rep.Workers > 0 {
 		fmt.Printf("pricing workers     : %d\n", rep.Workers)
 		fmt.Printf("plan cache          : %d hits / %d misses (%.1f%% hit rate)\n",
@@ -192,7 +213,14 @@ func printReport(cg *model.ConstraintGraph, rep *synth.Report) {
 		fmt.Printf("phase timings       : enumerate %v, price %v, solve %v, materialize %v\n",
 			rep.Timings.Enumerate, rep.Timings.Price, rep.Timings.Solve, rep.Timings.Materialize)
 	}
-	fmt.Printf("elapsed             : %v\n\n", rep.Elapsed)
+	fmt.Printf("elapsed             : %v\n", rep.Elapsed.Round(time.Microsecond))
+	if rep.Degradation.Degraded() {
+		fmt.Println("degradation         :")
+		for _, line := range rep.Degradation.Summary() {
+			fmt.Printf("  - %s\n", line)
+		}
+	}
+	fmt.Println()
 
 	var rows [][]string
 	for _, c := range rep.SelectedCandidates() {

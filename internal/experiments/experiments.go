@@ -26,15 +26,28 @@ import (
 // runs use; 0 lets synth default to all CPUs.
 var workers int
 
+// timeout is the per-synthesis-run deadline every experiment applies;
+// 0 means none. With a timeout set, a pathological instance inside a
+// sweep degrades to its best feasible architecture (anytime semantics)
+// instead of stalling the whole benchmark run.
+var timeout time.Duration
+
 // SetWorkers fixes the candidate-pricing worker-pool size for all
 // experiment synthesis runs (0 = all CPUs, 1 = serial). cmd/cdcs-bench
 // exposes it as -workers so serial/parallel timings can be compared on
 // the same tables.
 func SetWorkers(n int) { workers = n }
 
-// synthOpts applies the package-wide worker setting to a run's options.
+// SetTimeout fixes the per-run synthesis deadline for all experiment
+// synthesis runs (0 = none). cmd/cdcs-bench exposes it as -timeout so
+// sweeps survive pathological instances.
+func SetTimeout(d time.Duration) { timeout = d }
+
+// synthOpts applies the package-wide worker and timeout settings to a
+// run's options.
 func synthOpts(base synth.Options) synth.Options {
 	base.Workers = workers
+	base.Timeout = timeout
 	return base
 }
 

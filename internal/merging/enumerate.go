@@ -1,10 +1,37 @@
 package merging
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/library"
 	"repro/internal/model"
+)
+
+// ErrCandidateCap is wrapped in the error Enumerate returns when
+// MaxCandidates is exceeded under the (default) CapAbort mode; callers
+// distinguish it with errors.Is. The cdcs facade re-exports it.
+var ErrCandidateCap = errors.New("candidate cap exceeded")
+
+// cancelCheckInterval is how many tested subsets pass between
+// cooperative context polls; a power of two so the hot enumeration
+// loop masks instead of divides.
+const cancelCheckInterval = 1024
+
+// CapMode selects what happens when MaxCandidates is exceeded.
+type CapMode int
+
+const (
+	// CapAbort (the default) makes Enumerate return an error wrapping
+	// ErrCandidateCap and no partial result.
+	CapAbort CapMode = iota
+	// CapTruncate stops enumeration at the cap and returns the
+	// candidates accepted so far with Result.Truncated set — the
+	// graceful-degradation mode: the synthesis optimum over the
+	// truncated set is still a valid (possibly sub-optimal)
+	// architecture because point-to-point candidates cover every arc.
+	CapTruncate
 )
 
 // Options configures candidate enumeration.
@@ -17,12 +44,14 @@ type Options struct {
 	Policy RefPolicy
 	// MaxK caps the merging arity considered; zero means |A|.
 	MaxK int
-	// MaxCandidates aborts enumeration — Enumerate returns an error and
-	// no partial result — as soon as the accepted candidate count
-	// across all levels exceeds the cap (a safety valve for large
-	// random instances whose candidate sets would take unbounded time
-	// to price); zero means unlimited.
+	// MaxCandidates caps the accepted candidate count across all levels
+	// (a safety valve for large random instances whose candidate sets
+	// would take unbounded time to price); zero means unlimited. What
+	// happens at the cap is selected by CapMode.
 	MaxCandidates int
+	// CapMode selects abort (default) or truncate-and-mark behavior
+	// when MaxCandidates is exceeded.
+	CapMode CapMode
 	// DisableLemma31, DisableLemma32 and DisableTheorem32 switch off the
 	// respective prunes for ablation studies. Theorem 3.1 elimination is
 	// implied by the per-level candidate sets and switched off via
@@ -45,6 +74,13 @@ type Result struct {
 	SetsTested int
 	// SetsPruned counts subsets rejected by the lemma/theorem tests.
 	SetsPruned int
+	// Truncated is true when the MaxCandidates cap stopped enumeration
+	// under CapTruncate: ByK holds the first MaxCandidates candidates
+	// in enumeration order and higher levels were not explored.
+	Truncated bool
+	// Interrupted is true when the context deadline or cancellation
+	// stopped enumeration; ByK holds everything accepted so far.
+	Interrupted bool
 
 	// total is the running candidate count across all levels,
 	// maintained incrementally so the MaxCandidates cap check is O(1)
@@ -100,6 +136,15 @@ func (r *Result) MaxArityOf(ch model.ChannelID) int {
 // are eliminated from all higher levels (Theorem 3.1 — their Γ row and
 // column are removed).
 func Enumerate(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*Result, error) {
+	return EnumerateContext(context.Background(), cg, lib, opt)
+}
+
+// EnumerateContext is Enumerate under cooperative cancellation: the
+// subset loop polls the context every cancelCheckInterval tested sets
+// and, on deadline or cancel, returns the candidates accepted so far
+// with Result.Interrupted set instead of an error. The partial set is
+// always usable — every returned candidate passed the full prune tests.
+func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *library.Library, opt Options) (*Result, error) {
 	n := cg.NumChannels()
 	if n == 0 {
 		return nil, fmt.Errorf("merging: constraint graph has no channels")
@@ -127,14 +172,36 @@ func Enumerate(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*R
 	for i := 0; i < n; i++ {
 		active = append(active, i)
 	}
+	done := ctx.Done()
 
 	for k := 2; k <= maxK && len(active) >= k; k++ {
+		// A per-level check makes an already-dead context deterministic
+		// even when no level tests enough subsets to reach the
+		// amortized in-loop check.
+		if done != nil {
+			select {
+			case <-done:
+				res.Interrupted = true
+			default:
+			}
+			if res.Interrupted {
+				break
+			}
+		}
 		inCandidate := make(map[int]bool)
 		var sets [][]model.ChannelID
 		abort := false
 
 		forEachSubset(active, k, func(subset []int) bool {
 			res.SetsTested++
+			if done != nil && res.SetsTested&(cancelCheckInterval-1) == 0 {
+				select {
+				case <-done:
+					res.Interrupted = true
+					return false
+				default:
+				}
+			}
 			pruned := false
 			if !opt.DisableTheorem32 && NotMergeableBandwidth(bw, subset, lib) {
 				pruned = true
@@ -166,16 +233,31 @@ func Enumerate(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*R
 				// channel appears in is its max arity.
 				res.maxArity[model.ChannelID(a)] = k
 			}
-			if opt.MaxCandidates > 0 && res.total > opt.MaxCandidates {
-				abort = true
-				return false
+			if opt.MaxCandidates > 0 {
+				switch opt.CapMode {
+				case CapTruncate:
+					if res.total >= opt.MaxCandidates {
+						res.Truncated = true
+						return false
+					}
+				default:
+					if res.total > opt.MaxCandidates {
+						abort = true
+						return false
+					}
+				}
 			}
 			return true
 		})
 		if abort {
-			return nil, fmt.Errorf("merging: candidate cap %d exceeded at k=%d", opt.MaxCandidates, k)
+			return nil, fmt.Errorf("merging: %w: cap %d at k=%d", ErrCandidateCap, opt.MaxCandidates, k)
 		}
 		res.ByK[k] = sets
+		if res.Truncated || res.Interrupted {
+			// The partial level is kept: every accepted set passed the
+			// prunes, so pricing it can only improve the architecture.
+			break
+		}
 		if len(sets) == 0 {
 			// No k-way candidates at all: by Theorem 3.1 no arc can join
 			// a larger merging either; the loop terminates.

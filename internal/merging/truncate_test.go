@@ -1,0 +1,88 @@
+package merging
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestEnumerateCapTruncate: under CapTruncate the enumeration stops at
+// the cap without an error, keeps exactly the first cap candidates (in
+// enumeration order), and marks the result truncated.
+func TestEnumerateCapTruncate(t *testing.T) {
+	cg := clusterInstance(t, 6)
+	full, err := Enumerate(cg, testLib(), Options{Policy: MaxIndexRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := full.TotalCandidates()
+	if total < 3 {
+		t.Skipf("instance produced only %d candidates", total)
+	}
+
+	cap := total - 1
+	res, err := Enumerate(cg, testLib(), Options{Policy: MaxIndexRef, MaxCandidates: cap, CapMode: CapTruncate})
+	if err != nil {
+		t.Fatalf("CapTruncate must not error: %v", err)
+	}
+	if !res.Truncated {
+		t.Error("Truncated not set")
+	}
+	if res.Interrupted {
+		t.Error("Interrupted set without a context deadline")
+	}
+	if got := res.TotalCandidates(); got != cap {
+		t.Errorf("TotalCandidates=%d, want cap %d", got, cap)
+	}
+	// Every kept candidate also appears in the full enumeration at the
+	// same level (truncation keeps a prefix, never invents sets).
+	for k, sets := range res.ByK {
+		if len(sets) > len(full.ByK[k]) {
+			t.Errorf("k=%d: truncated level has %d sets, full has %d", k, len(sets), len(full.ByK[k]))
+		}
+	}
+
+	// Cap equal to the total marks Truncated but loses nothing.
+	exact, err := Enumerate(cg, testLib(), Options{Policy: MaxIndexRef, MaxCandidates: total, CapMode: CapTruncate})
+	if err != nil {
+		t.Fatalf("CapTruncate at exact total: %v", err)
+	}
+	if got := exact.TotalCandidates(); got != total {
+		t.Errorf("cap==total: TotalCandidates=%d, want %d", got, total)
+	}
+}
+
+// TestEnumerateCapAbortSentinel: the default abort mode returns an error
+// matching ErrCandidateCap via errors.Is.
+func TestEnumerateCapAbortSentinel(t *testing.T) {
+	cg := clusterInstance(t, 6)
+	_, err := Enumerate(cg, testLib(), Options{Policy: MaxIndexRef, MaxCandidates: 1})
+	if err == nil {
+		t.Fatal("cap 1 in abort mode must error")
+	}
+	if !errors.Is(err, ErrCandidateCap) {
+		t.Errorf("err = %v, want errors.Is(err, ErrCandidateCap)", err)
+	}
+}
+
+// TestEnumerateContextCanceled: a dead context stops enumeration with
+// Interrupted set and no error; the partial result is usable.
+func TestEnumerateContextCanceled(t *testing.T) {
+	cg := clusterInstance(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EnumerateContext(ctx, cg, testLib(), Options{Policy: MaxIndexRef})
+	if err != nil {
+		t.Fatalf("canceled context must degrade, not error: %v", err)
+	}
+	if !res.Interrupted {
+		t.Error("Interrupted not set on a dead context")
+	}
+	if res.Truncated {
+		t.Error("Truncated set without a candidate cap")
+	}
+	// A pre-dead context is observed before any level runs.
+	if got := res.TotalCandidates(); got != 0 {
+		t.Errorf("TotalCandidates=%d, want 0 for a pre-dead context", got)
+	}
+}

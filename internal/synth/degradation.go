@@ -1,0 +1,113 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+)
+
+// ErrCanceled is returned when the context is already canceled (or its
+// deadline already passed) before synthesis produced anything worth
+// degrading to. Once the flow is past point-to-point planning it never
+// returns this: a later deadline degrades the result instead of
+// erroring (see Degradation). The error wraps the context's own error,
+// so errors.Is matches both ErrCanceled and context.Canceled /
+// context.DeadlineExceeded.
+var ErrCanceled = errors.New("synth: canceled before start")
+
+// PricingPanicError reports a panic recovered inside a Step 1c pricing
+// worker, naming the candidate whose pricing panicked. It aborts the
+// run as an error (never a process crash) and is matchable with
+// errors.As.
+type PricingPanicError struct {
+	// Channels is the candidate set whose pricing panicked.
+	Channels []model.ChannelID
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PricingPanicError) Error() string {
+	return fmt.Sprintf("synth: pricing candidate %v panicked: %v", e.Channels, e.Value)
+}
+
+// Budgets are optional per-phase wall-clock budgets, each enforced as a
+// context deadline nested inside the run's overall Timeout. A phase
+// whose budget expires is cut short exactly like an overall deadline —
+// the flow degrades and continues — but the remaining phases still get
+// to run, so a pathological enumeration cannot starve the solver.
+type Budgets struct {
+	// Enumerate bounds Steps 1a–1b (p2p planning + candidate
+	// enumeration). Zero means no phase budget.
+	Enumerate time.Duration
+	// Price bounds Step 1c (candidate pricing).
+	Price time.Duration
+	// Solve bounds Step 2 (the covering solver).
+	Solve time.Duration
+}
+
+// Degradation records everything a deadline, budget, or candidate cap
+// cut short during a run. The zero value means the flow ran to
+// completion; any flag set means the returned architecture is feasible
+// and verified but possibly sub-optimal.
+type Degradation struct {
+	// EnumerationTruncated is true when the MaxCandidates cap stopped
+	// candidate enumeration in truncate mode.
+	EnumerationTruncated bool
+	// EnumerationInterrupted is true when a deadline stopped candidate
+	// enumeration.
+	EnumerationInterrupted bool
+	// PricingInterrupted is true when a deadline stopped candidate
+	// pricing; PricingSkipped counts the enumerated mergings that were
+	// never priced (and therefore never entered the covering instance).
+	PricingInterrupted bool
+	PricingSkipped     int
+	// SolverInterrupted is true when a deadline stopped the covering
+	// branch-and-bound; the solution is its best incumbent.
+	SolverInterrupted bool
+	// CoverLowerBound is an admissible lower bound on the optimal cost
+	// of the covering instance that was actually solved, from the
+	// solver's root relaxation (internal/ucp/bound.go). GapBound =
+	// Report.Cost − CoverLowerBound bounds the optimality gap of the
+	// returned architecture relative to that instance. When enumeration
+	// or pricing was also cut short, the bound is relative to the
+	// truncated candidate set (the full set could in principle do
+	// better). Both are zero when the solver proved optimality.
+	CoverLowerBound float64
+	GapBound        float64
+	// BudgetsExceeded lists the phases ("enumerate", "price", "solve")
+	// whose per-phase budget — rather than the overall deadline —
+	// expired.
+	BudgetsExceeded []string
+}
+
+// Degraded reports whether anything was cut short.
+func (d *Degradation) Degraded() bool {
+	return d.EnumerationTruncated || d.EnumerationInterrupted ||
+		d.PricingInterrupted || d.SolverInterrupted
+}
+
+// Summary returns human-readable lines describing what was cut short,
+// empty when nothing was.
+func (d *Degradation) Summary() []string {
+	var out []string
+	if d.EnumerationTruncated {
+		out = append(out, "candidate enumeration truncated at the MaxCandidates cap")
+	}
+	if d.EnumerationInterrupted {
+		out = append(out, "candidate enumeration interrupted by deadline")
+	}
+	if d.PricingInterrupted {
+		out = append(out, fmt.Sprintf("candidate pricing interrupted by deadline (%d mergings unpriced)", d.PricingSkipped))
+	}
+	if d.SolverInterrupted {
+		out = append(out, fmt.Sprintf("covering solver interrupted: best incumbent returned, cost ≤ optimum + %.4g (root bound %.4g)", d.GapBound, d.CoverLowerBound))
+	}
+	for _, phase := range d.BudgetsExceeded {
+		out = append(out, fmt.Sprintf("per-phase budget for %q spent", phase))
+	}
+	return out
+}

@@ -18,8 +18,11 @@
 package synth
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -66,6 +69,16 @@ type Options struct {
 	// report — candidate order, costs, counters — and the synthesized
 	// graph are identical for every worker count.
 	Workers int
+	// Timeout bounds the whole run's wall clock. When it expires the
+	// flow does not error: each remaining phase is cut short
+	// cooperatively and the run still returns a feasible, verified
+	// architecture with Report.Degradation describing what was cut
+	// (anytime semantics). Zero means no deadline. A deadline already
+	// present on the caller's context behaves identically; the
+	// effective deadline is whichever is earlier.
+	Timeout time.Duration
+	// Budgets optionally bound individual phases; see Budgets.
+	Budgets Budgets
 }
 
 func (o Options) workers() int {
@@ -122,6 +135,10 @@ type Report struct {
 	PlanCache p2p.CacheStats
 	// Workers is the pricing worker-pool size the run actually used.
 	Workers int
+	// Degradation records what (if anything) a deadline, per-phase
+	// budget, or candidate cap cut short; its zero value means the run
+	// completed in full.
+	Degradation Degradation
 	// Timings breaks Elapsed into the flow's phases.
 	Timings Timings
 	// Elapsed is the wall-clock synthesis time.
@@ -140,6 +157,14 @@ type Timings struct {
 	// Materialize covers building and verifying the implementation
 	// graph from the selected candidates.
 	Materialize time.Duration
+}
+
+// ResultOptimal reports whether the returned architecture is provably
+// optimal: the covering solver proved optimality AND no upstream phase
+// (enumeration, pricing) was cut short — a truncated candidate set can
+// hide cheaper mergings even when its covering solve is exact.
+func (r *Report) ResultOptimal() bool {
+	return r.SolverOptimal && !r.Degradation.Degraded()
 }
 
 // SavingsPercent returns how much cheaper the synthesized architecture
@@ -165,7 +190,28 @@ func (r *Report) SelectedCandidates() []Candidate {
 // Synthesize runs the full flow and returns the materialized optimal
 // implementation graph together with the run report.
 func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*impl.Graph, *Report, error) {
+	return SynthesizeContext(context.Background(), cg, lib, opt)
+}
+
+// SynthesizeContext is Synthesize under cooperative cancellation with
+// anytime semantics. A context that is already dead on entry returns
+// ErrCanceled; after that, a deadline (from the context or from
+// Options.Timeout, whichever is earlier) never produces an error or a
+// partial failure — each phase is cut short at its next checkpoint, the
+// flow degrades to the best architecture constructible from the work
+// completed so far (at worst the all-point-to-point implementation,
+// which is always feasible), and Report.Degradation records what was
+// cut together with an optimality-gap bound.
+func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *library.Library, opt Options) (*impl.Graph, *Report, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
 	if err := cg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -173,6 +219,21 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 		return nil, nil, err
 	}
 	report := &Report{}
+
+	// phaseCtx nests an optional per-phase budget inside the overall
+	// deadline; noteBudget records — after the phase ran — whether the
+	// phase budget (rather than the overall deadline) was what expired.
+	phaseCtx := func(budget time.Duration) (context.Context, context.CancelFunc) {
+		if budget <= 0 {
+			return ctx, func() {}
+		}
+		return context.WithTimeout(ctx, budget)
+	}
+	noteBudget := func(name string, pctx context.Context) {
+		if pctx != ctx && pctx.Err() != nil && ctx.Err() == nil {
+			report.Degradation.BudgetsExceeded = append(report.Degradation.BudgetsExceeded, name)
+		}
+	}
 
 	// The placement optimizer prices access legs and trunks with its own
 	// embedded point-to-point planner; unless the caller configured it
@@ -193,6 +254,8 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 	report.Workers = opt.workers()
 
 	// --- Step 1a: optimum point-to-point plans. ---
+	// Not interruptible by design: the p2p plans are what every
+	// degraded outcome falls back to, and they cost O(n·|L|).
 	phase := time.Now()
 	n := cg.NumChannels()
 	p2pPlans := make([]p2p.Plan, n)
@@ -207,11 +270,16 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 	}
 
 	// --- Step 1b: candidate mergings. ---
-	enum, err := merging.Enumerate(cg, lib, opt.Merging)
+	ectx, ecancel := phaseCtx(opt.Budgets.Enumerate)
+	enum, err := merging.EnumerateContext(ectx, cg, lib, opt.Merging)
+	noteBudget("enumerate", ectx)
+	ecancel()
 	if err != nil {
 		return nil, nil, err
 	}
 	report.Enumeration = enum
+	report.Degradation.EnumerationTruncated = enum.Truncated
+	report.Degradation.EnumerationInterrupted = enum.Interrupted
 	report.Timings.Enumerate = time.Since(phase)
 
 	// --- Step 1c: price every candidate. ---
@@ -225,7 +293,13 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 			Plan:     &plan,
 		})
 	}
-	priceCandidates(cg, lib, enum, p2pPlans, opt, report)
+	pctx, pcancel := phaseCtx(opt.Budgets.Price)
+	err = priceCandidates(pctx, cg, lib, enum, p2pPlans, opt, report)
+	noteBudget("price", pctx)
+	pcancel()
+	if err != nil {
+		return nil, nil, err
+	}
 	report.Timings.Price = time.Since(phase)
 
 	// --- Step 2: weighted unate covering. ---
@@ -250,14 +324,24 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 		sol, err = m.SolveGreedy()
 	default:
 		// Independent blocks (channel groups sharing no candidate) are
-		// solved separately — exponentially cheaper, same optimum.
-		sol, err = m.SolveDecomposed()
+		// solved separately — exponentially cheaper, same optimum. On
+		// deadline the branch-and-bound returns its greedy-seeded best
+		// incumbent rather than erroring (anytime solving).
+		sctx, scancel := phaseCtx(opt.Budgets.Solve)
+		sol, err = m.SolveDecomposedContext(sctx)
+		noteBudget("solve", sctx)
+		scancel()
 	}
 	if err != nil {
 		return nil, nil, err
 	}
 	report.UCPStats = sol.Stats
 	report.SolverOptimal = sol.Optimal
+	if sol.Interrupted {
+		report.Degradation.SolverInterrupted = true
+		report.Degradation.CoverLowerBound = sol.LowerBound
+		report.Degradation.GapBound = sol.GapBound()
+	}
 	report.Cost = sol.Cost
 	for _, j := range sol.Columns {
 		report.Candidates[j].Selected = true
@@ -276,38 +360,90 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 	return ig, report, nil
 }
 
+// testPricingHook, when non-nil, is invoked with each candidate set
+// just before it is priced. Tests use it to inject latency or panics
+// into Step 1c; production code never sets it.
+var testPricingHook func([]model.ChannelID)
+
+// priceOne prices a single candidate set, converting a panic anywhere
+// inside the placement optimization into a typed *PricingPanicError
+// naming the candidate. The recover lives here — inside the function
+// each worker goroutine calls — so a panicking worker can never take
+// down the process.
+func priceOne(
+	cg *model.ConstraintGraph, lib *library.Library,
+	set []model.ChannelID, opt place.Options,
+) (cand *place.Candidate, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PricingPanicError{
+				Channels: append([]model.ChannelID(nil), set...),
+				Value:    r,
+				Stack:    debug.Stack(),
+			}
+		}
+	}()
+	if hook := testPricingHook; hook != nil {
+		hook(set)
+	}
+	return place.Optimize(cg, lib, set, opt)
+}
+
 // priceCandidates runs Step 1c — placement-pricing every enumerated
 // merging — over a bounded worker pool. Candidate sets are independent
 // sub-problems, so they fan out freely; results are collected into a
 // slice indexed by enumeration order and appended to the report
 // serially, which keeps the candidate sequence, the counters and hence
 // the covering instance identical to a single-worker run.
+//
+// When ctx expires mid-phase, no further candidates are dispatched:
+// already-dispatched pricings finish (each is bounded by the pattern
+// search's iteration cap), undispatched ones are counted as skipped in
+// Report.Degradation, and the covering step proceeds over what was
+// priced. The only error it returns is a *PricingPanicError.
 func priceCandidates(
+	ctx context.Context,
 	cg *model.ConstraintGraph, lib *library.Library,
 	enum *merging.Result, p2pPlans []p2p.Plan,
 	opt Options, report *Report,
-) {
+) error {
 	var sets [][]model.ChannelID
 	for k := 2; k <= len(p2pPlans); k++ {
 		sets = append(sets, enum.ByK[k]...)
 	}
 	if len(sets) == 0 {
-		return
+		return nil
 	}
 
 	type priced struct {
 		cand *place.Candidate
 		err  error
+		done bool
 	}
 	results := make([]priced, len(sets))
+	done := ctx.Done()
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	workers := opt.workers()
 	if workers > len(sets) {
 		workers = len(sets)
 	}
 	if workers <= 1 {
 		for i, set := range sets {
-			cand, err := place.Optimize(cg, lib, set, opt.Place)
-			results[i] = priced{cand: cand, err: err}
+			if canceled() {
+				break
+			}
+			cand, err := priceOne(cg, lib, set, opt.Place)
+			results[i] = priced{cand: cand, err: err, done: true}
 		}
 	} else {
 		jobs := make(chan int)
@@ -317,12 +453,15 @@ func priceCandidates(
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					cand, err := place.Optimize(cg, lib, sets[i], opt.Place)
-					results[i] = priced{cand: cand, err: err}
+					cand, err := priceOne(cg, lib, sets[i], opt.Place)
+					results[i] = priced{cand: cand, err: err, done: true}
 				}
 			}()
 		}
 		for i := range sets {
+			if canceled() {
+				break
+			}
 			jobs <- i
 		}
 		close(jobs)
@@ -330,8 +469,16 @@ func priceCandidates(
 	}
 
 	for i, set := range sets {
+		if !results[i].done {
+			report.Degradation.PricingSkipped++
+			continue
+		}
 		cand, err := results[i].cand, results[i].err
 		if err != nil {
+			var pe *PricingPanicError
+			if errors.As(err, &pe) {
+				return err
+			}
 			report.InfeasibleMergings++
 			continue
 		}
@@ -353,6 +500,10 @@ func priceCandidates(
 			Merge:    cand,
 		})
 	}
+	if report.Degradation.PricingSkipped > 0 {
+		report.Degradation.PricingInterrupted = true
+	}
+	return nil
 }
 
 // materialize builds the implementation graph from the selected

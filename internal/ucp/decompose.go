@@ -1,6 +1,9 @@
 package ucp
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // Covering instances from the synthesis flow often decompose: channels
 // in different regions share no merging candidates, so the covering
@@ -64,12 +67,22 @@ func (m *Matrix) components() (blocks [][2][]int) {
 // single-block instance it is identical to Solve. The combined solution
 // is optimal because no column spans two blocks.
 func (m *Matrix) SolveDecomposed() (Solution, error) {
+	return m.SolveDecomposedContext(context.Background())
+}
+
+// SolveDecomposedContext is SolveDecomposed under cooperative
+// cancellation. Blocks solved before the deadline are exact; blocks
+// interrupted mid-search contribute their best incumbent (see
+// SolveContext), so the combined solution is always a valid cover. The
+// summed LowerBound remains admissible for the whole instance because
+// no column spans two blocks.
+func (m *Matrix) SolveDecomposedContext(ctx context.Context) (Solution, error) {
 	if !m.Feasible() {
-		return Solution{}, errInfeasible()
+		return Solution{}, ErrInfeasible
 	}
 	blocks := m.components()
 	if len(blocks) <= 1 {
-		return m.Solve()
+		return m.SolveContext(ctx)
 	}
 	var out Solution
 	out.Optimal = true
@@ -89,7 +102,7 @@ func (m *Matrix) SolveDecomposed() (Solution, error) {
 			}
 			sub.MustAddColumn(Column{Rows: mapped, Weight: c.Weight, Label: c.Label})
 		}
-		sol, err := sub.Solve()
+		sol, err := sub.SolveContext(ctx)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -97,22 +110,16 @@ func (m *Matrix) SolveDecomposed() (Solution, error) {
 			out.Columns = append(out.Columns, cols[sj])
 		}
 		out.Cost += sol.Cost
+		out.LowerBound += sol.LowerBound
+		if sol.Interrupted {
+			out.Interrupted = true
+			out.Optimal = false
+		}
 		out.Stats.Nodes += sol.Stats.Nodes
 		out.Stats.Prunes += sol.Stats.Prunes
 		out.Stats.Reductions += sol.Stats.Reductions
+		out.Stats.Infeasible += sol.Stats.Infeasible
 	}
 	sort.Ints(out.Columns)
 	return out, nil
 }
-
-func errInfeasible() error {
-	return errInfeasibleValue
-}
-
-type infeasibleError struct{}
-
-func (infeasibleError) Error() string {
-	return "ucp: infeasible: some row has no covering column"
-}
-
-var errInfeasibleValue = infeasibleError{}

@@ -1,0 +1,8 @@
+package ucp
+
+import "errors"
+
+// ErrInfeasible is returned by every solver when some row has no
+// covering column. Callers distinguish it with errors.Is; the cdcs
+// facade re-exports it.
+var ErrInfeasible = errors.New("ucp: infeasible: some row has no covering column")

@@ -11,7 +11,7 @@ import (
 // baseline for the exact solver and as its initial incumbent.
 func (m *Matrix) SolveGreedy() (Solution, error) {
 	if !m.Feasible() {
-		return Solution{}, fmt.Errorf("ucp: infeasible: some row has no covering column")
+		return Solution{}, ErrInfeasible
 	}
 	covered := make([]bool, m.numRows)
 	remaining := m.numRows
@@ -61,7 +61,7 @@ func (m *Matrix) SolveExhaustive() (Solution, error) {
 		return Solution{}, fmt.Errorf("ucp: exhaustive solver limited to 24 columns, got %d", n)
 	}
 	if !m.Feasible() {
-		return Solution{}, fmt.Errorf("ucp: infeasible: some row has no covering column")
+		return Solution{}, ErrInfeasible
 	}
 	bestCost := math.Inf(1)
 	var best []int
@@ -92,5 +92,5 @@ func (m *Matrix) SolveExhaustive() (Solution, error) {
 			}
 		}
 	}
-	return Solution{Columns: append([]int(nil), best...), Cost: bestCost, Optimal: true}, nil
+	return Solution{Columns: append([]int(nil), best...), Cost: bestCost, Optimal: true, LowerBound: bestCost}, nil
 }

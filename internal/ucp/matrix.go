@@ -109,9 +109,24 @@ type Solution struct {
 	Cost float64
 	// Optimal is true when the solver proved optimality.
 	Optimal bool
+	// Interrupted is true when a context deadline or cancellation cut
+	// the branch-and-bound short; Columns then hold the best incumbent
+	// found (never worse than the greedy cover the search is seeded
+	// with) and Optimal is false.
+	Interrupted bool
+	// LowerBound is an admissible lower bound on the optimal cost of
+	// this instance: equal to Cost when Optimal, and otherwise the root
+	// relaxation bound (the stronger of the independent-set and
+	// dual-ascent bounds), so Cost − LowerBound bounds the optimality
+	// gap of an interrupted solve. The greedy solver leaves it zero.
+	LowerBound float64
 	// Stats carries solver counters.
 	Stats Stats
 }
+
+// GapBound returns an upper bound on how far Cost can be above the true
+// optimum (zero when the solve was proved optimal).
+func (s Solution) GapBound() float64 { return s.Cost - s.LowerBound }
 
 // Stats counts solver effort.
 type Stats struct {
@@ -122,6 +137,9 @@ type Stats struct {
 	// Reductions is the number of essential/dominance simplifications
 	// applied.
 	Reductions int
+	// Infeasible is the number of subproblems abandoned because some
+	// row lost its last covering column (previously dropped silently).
+	Infeasible int
 }
 
 // CostOf returns the summed weight of a column set.

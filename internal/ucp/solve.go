@@ -1,23 +1,43 @@
 package ucp
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"sort"
 )
 
+// cancelCheckInterval is how many branch-and-bound nodes are explored
+// between cooperative context checks. Checking the context involves a
+// select on its Done channel; doing so once per node would dominate the
+// cost of small subproblems, so the check is amortized over a power-of-
+// two node interval (masked, not divided, in the hot loop).
+const cancelCheckInterval = 256
+
 // Solve finds a provably minimum-weight cover by branch-and-bound with
-// classical reductions. It returns an error when the instance is
+// classical reductions. It returns ErrInfeasible when the instance is
 // infeasible (some row has no covering column).
 func (m *Matrix) Solve() (Solution, error) {
+	return m.SolveContext(context.Background())
+}
+
+// SolveContext is Solve under cooperative cancellation: when ctx is
+// canceled or its deadline passes mid-search, the solver stops at the
+// next node-count checkpoint and returns its best incumbent — seeded
+// from the greedy cover, so once the instance is feasible a valid cover
+// always exists — with Optimal=false and Interrupted=true instead of an
+// error. Solution.LowerBound then bounds how far the incumbent can be
+// from the true optimum.
+func (m *Matrix) SolveContext(ctx context.Context) (Solution, error) {
 	if !m.Feasible() {
-		return Solution{}, fmt.Errorf("ucp: infeasible: some row has no covering column")
+		return Solution{}, ErrInfeasible
 	}
 	s := &bbState{
 		m:        m,
 		bestCost: math.Inf(1),
+		done:     ctx.Done(),
 	}
-	// Seed the incumbent with the greedy solution so pruning bites early.
+	// Seed the incumbent with the greedy solution so pruning bites early
+	// and an interrupted solve always has a feasible answer.
 	if greedy, err := m.SolveGreedy(); err == nil {
 		s.bestCost = greedy.Cost
 		s.bestCols = append([]int(nil), greedy.Columns...)
@@ -30,14 +50,32 @@ func (m *Matrix) Solve() (Solution, error) {
 	for j := range avail {
 		avail[j] = true
 	}
-	s.branch(active, avail, nil, 0)
+	// The root lower bound is computed before branching: it stays valid
+	// for the whole instance no matter where the search is interrupted.
+	rootBound := s.combinedBound(active, avail)
+	// An unconditional root check makes an already-dead context
+	// deterministic for any instance size (the in-search checks are
+	// amortized and may never trigger on small trees).
+	select {
+	case <-s.done:
+		s.interrupted = true
+	default:
+		s.branch(active, avail, nil, 0)
+	}
 	sort.Ints(s.bestCols)
-	return Solution{
-		Columns: s.bestCols,
-		Cost:    s.bestCost,
-		Optimal: true,
-		Stats:   s.stats,
-	}, nil
+	sol := Solution{
+		Columns:     s.bestCols,
+		Cost:        s.bestCost,
+		Optimal:     !s.interrupted,
+		Interrupted: s.interrupted,
+		Stats:       s.stats,
+	}
+	if sol.Optimal {
+		sol.LowerBound = sol.Cost
+	} else {
+		sol.LowerBound = math.Min(rootBound, sol.Cost)
+	}
+	return sol, nil
 }
 
 type bbState struct {
@@ -45,12 +83,36 @@ type bbState struct {
 	bestCost float64
 	bestCols []int
 	stats    Stats
+	// done is the context's cancellation channel (nil for a background
+	// context, in which case no checks are performed at all).
+	done <-chan struct{}
+	// interrupted latches once cancellation is observed; every frame on
+	// the recursion stack unwinds immediately after.
+	interrupted bool
+}
+
+// checkCancel polls the context every cancelCheckInterval nodes.
+func (s *bbState) checkCancel() bool {
+	if s.interrupted {
+		return true
+	}
+	if s.done != nil && s.stats.Nodes&(cancelCheckInterval-1) == 0 {
+		select {
+		case <-s.done:
+			s.interrupted = true
+		default:
+		}
+	}
+	return s.interrupted
 }
 
 // branch explores the subproblem where `active` rows remain uncovered
 // and `avail` columns may still be chosen; `chosen` columns cost `cost`.
 func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 	s.stats.Nodes++
+	if s.checkCancel() {
+		return
+	}
 
 	// Apply reductions until a fixed point. Reductions mutate copies.
 	active = append([]bool(nil), active...)
@@ -60,6 +122,7 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 	for {
 		changed, feasible, extraCost, extraCols := s.reduce(active, avail)
 		if !feasible {
+			s.stats.Infeasible++
 			return
 		}
 		cost += extraCost
@@ -75,10 +138,9 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 
 	// All rows covered?
 	remaining := 0
-	for r, on := range active {
+	for _, on := range active {
 		if on {
 			remaining++
-			_ = r
 		}
 	}
 	if remaining == 0 {
@@ -99,7 +161,11 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 	// Branch on the hardest row: fewest available covering columns.
 	row := s.hardestRow(active, avail)
 	if row < 0 {
-		return // infeasible subproblem
+		// Unreachable after a feasible reduction fixed point (every
+		// active row has a cover), but counted rather than silently
+		// dropped so a logic regression shows up in the stats.
+		s.stats.Infeasible++
+		return
 	}
 	var covering []int
 	for j, ok := range avail {
@@ -115,6 +181,9 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 		return s.m.cols[covering[a]].Weight < s.m.cols[covering[b]].Weight
 	})
 	for i, j := range covering {
+		if s.interrupted {
+			return
+		}
 		childActive := append([]bool(nil), active...)
 		childAvail := append([]bool(nil), avail...)
 		for _, r := range s.m.cols[j].Rows {
