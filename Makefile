@@ -1,0 +1,31 @@
+GO      ?= go
+BIN     := bin
+VETTOOL := $(CURDIR)/$(BIN)/cdcsvet
+
+.PHONY: all build test race vet lint tools clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Standard toolchain vet.
+vet:
+	$(GO) vet ./...
+
+# Build the repository's analyzer suite (see docs/LINT.md).
+tools:
+	$(GO) build -o $(VETTOOL) ./cmd/cdcsvet
+
+# Run the cdcsvet analyzers over every package, test files included.
+lint: tools
+	$(GO) vet -vettool=$(VETTOOL) ./...
+
+clean:
+	rm -rf $(BIN)

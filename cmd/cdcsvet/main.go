@@ -1,0 +1,114 @@
+// Command cdcsvet is the repository's static-analysis suite: four
+// go/analysis-style checks (mapiter, floatcmp, ctxflow, errsentinel)
+// enforcing CDCS correctness invariants the type system cannot express
+// — deterministic output order, epsilon-safe cost comparison,
+// end-to-end context propagation, and errors.Is sentinel matching. See
+// docs/LINT.md for the rules and their rationale.
+//
+// Two modes:
+//
+//	go vet -vettool=$(which cdcsvet) ./...   # the CI entry point
+//	cdcsvet [./...|dir ...]                  # standalone, no cmd/go
+//
+// The first speaks cmd/go's vet-tool protocol (one JSON config per
+// compilation unit, including in-package test files); the second loads
+// and type-checks packages itself, which analyzes non-test sources
+// only. Both exit non-zero when any diagnostic is reported. The suite
+// deliberately supports no suppression comments: a finding is fixed or
+// the rule is changed in code review, never silenced at the call site.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+	"repro/internal/lint/unitchecker"
+)
+
+const version = "v1.0.0"
+
+func main() {
+	args := os.Args[1:]
+	var patterns []string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full" || a == "-V":
+			// cmd/go hashes this line into its build cache key.
+			fmt.Printf("cdcsvet version %s\n", version)
+			return
+		case a == "-flags" || a == "--flags":
+			// cmd/go asks which analyzer flags the tool accepts; none.
+			fmt.Println("[]")
+			return
+		case a == "-h" || a == "-help" || a == "--help" || a == "help":
+			usage(os.Stdout)
+			return
+		case strings.HasSuffix(a, ".cfg"):
+			// vet-tool protocol: one compilation unit per invocation.
+			os.Exit(unitchecker.Run(a, lint.Analyzers(), os.Stderr))
+		case strings.HasPrefix(a, "-"):
+			// Unknown flags (cmd/go may grow new ones) are ignored
+			// rather than fatal, matching x/tools' unitchecker.
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	os.Exit(standalone(patterns))
+}
+
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcsvet: %v\n", err)
+		return 1
+	}
+	root, module, err := load.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcsvet: %v\n", err)
+		return 1
+	}
+	loader := load.New(root, module)
+	dirs, err := loader.Dirs(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcsvet: %v\n", err)
+		return 1
+	}
+	analyzers := lint.Analyzers()
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdcsvet: %v\n", err)
+			return 1
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdcsvet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", loader.Fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func usage(w *os.File) {
+	fmt.Fprintf(w, "cdcsvet %s — CDCS correctness-invariant analyzers\n\n", version)
+	fmt.Fprintf(w, "usage:\n")
+	fmt.Fprintf(w, "  go vet -vettool=$(which cdcsvet) ./...   # via cmd/go (includes test files)\n")
+	fmt.Fprintf(w, "  cdcsvet [packages]                       # standalone (non-test sources)\n\n")
+	fmt.Fprintf(w, "analyzers:\n")
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "\nsee docs/LINT.md for rationale and the no-suppression policy\n")
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/num"
 )
 
 // Constraint is Σᵢ Coeffs[i]·xᵢ ≥ RHS with non-negative coefficients.
@@ -93,7 +95,7 @@ func (p *Problem) Solve() (Solution, error) {
 		for _, coeff := range c.Coeffs {
 			potential[k] += coeff
 		}
-		if potential[k] < c.RHS-1e-12 {
+		if num.Less(potential[k], c.RHS) {
 			return Solution{}, fmt.Errorf("ilp: constraint %d infeasible even with all variables set", k)
 		}
 	}
@@ -134,9 +136,9 @@ func (s *solver) branch(depth int, cost float64, slack, potential []float64) {
 	// Feasibility: every constraint must still be satisfiable.
 	satisfied := true
 	for k := range slack {
-		if slack[k] > 1e-12 {
+		if num.Positive(slack[k]) {
 			satisfied = false
-			if potential[k] < slack[k]-1e-12 {
+			if num.Less(potential[k], slack[k]) {
 				return // dead end
 			}
 		}

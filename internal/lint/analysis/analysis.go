@@ -1,0 +1,131 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis API: just enough surface — Analyzer,
+// Pass, Diagnostic — for the cdcsvet analyzers to be written in the
+// standard shape without pulling the x/tools module into the build.
+//
+// The container this repo builds in has no module proxy access, so the
+// usual `multichecker` + `analysistest` stack is off the table; the
+// sibling packages reimplement the thin slices of it the suite needs
+// (internal/lint/load, internal/lint/analysistest, and the vet-protocol
+// driver under cmd/cdcsvet). Analyzers written against this package use
+// the same Run(*Pass) contract as upstream, so they can migrate to
+// x/tools unchanged if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI selection.
+	Name string
+	// Doc is the one-paragraph description shown by `cdcsvet help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer run.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax (tests excluded or included
+	// per driver; analyzers consult IsTestFile when it matters).
+	Files []*ast.File
+	// Path is the package's import path as the driver resolved it.
+	Path string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and uses for expressions in Files.
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	// Pos anchors the finding.
+	Pos token.Pos
+	// Analyzer names the check that produced it.
+	Analyzer string
+	// Message states the violation.
+	Message string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Package is the loaded unit a driver hands to Run.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Fset maps positions.
+	Fset *token.FileSet
+	// Files is the parsed syntax.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the collected type information.
+	Info *types.Info
+}
+
+// Run applies each analyzer to the package and returns all diagnostics
+// in position order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diagnostics...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// Inspect walks every file of the pass in depth-first order, calling f
+// for each node; f returning false prunes the subtree.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// BaseName returns the last path element of an import path: the
+// analyzers scope their audits by package base name so the same rule
+// applies to repro/internal/ucp in the real tree and to testdata/src/ucp
+// in their analysistest fixtures.
+func BaseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

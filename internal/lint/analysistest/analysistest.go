@@ -1,0 +1,177 @@
+// Package analysistest runs an analyzer over a testdata fixture tree
+// and checks its diagnostics against `// want` comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract without the
+// dependency.
+//
+// Layout: <analyzer dir>/testdata/src/<pkg>/*.go. A line that should be
+// flagged carries a trailing comment
+//
+//	// want `regexp`
+//
+// (double-quoted strings work too; several literals on one line demand
+// several diagnostics on that line, matched in order). A fixture line
+// with no want comment must produce no diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run loads each named package from dir/src and applies the analyzer,
+// failing t on any mismatch between diagnostics and want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root := filepath.Join(dir, "src")
+	loader := load.New(root, "")
+	for _, pkg := range pkgs {
+		pkgDir := filepath.Join(root, pkg)
+		loaded, err := loader.LoadDir(pkgDir)
+		if err != nil {
+			t.Errorf("%s: loading %s: %v", a.Name, pkg, err)
+			continue
+		}
+		diags, err := analysis.Run(&analysis.Package{
+			Path:  loaded.Path,
+			Fset:  loaded.Fset,
+			Files: loaded.Files,
+			Types: loaded.Types,
+			Info:  loaded.Info,
+		}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: running on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		wants, err := collectWants(loaded.Fset, loaded)
+		if err != nil {
+			t.Errorf("%s: %s: %v", a.Name, pkg, err)
+			continue
+		}
+		check(t, a.Name, loaded.Fset, diags, wants)
+	}
+}
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func collectWants(fset *token.FileSet, pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				exprs, err := splitLiterals(strings.TrimSpace(text))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, e := range exprs {
+					re, err := regexp.Compile(e)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, e, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: e})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitLiterals parses a sequence of Go string literals.
+func splitLiterals(s string) ([]string, error) {
+	var out []string
+	for s != "" {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string")
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote, honoring escapes.
+			i := 1
+			for ; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					break
+				}
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated string")
+			}
+			lit, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit)
+			s = s[i+1:]
+		default:
+			return nil, fmt.Errorf("expected string literal at %q", s)
+		}
+	}
+	return out, nil
+}
+
+func check(t *testing.T, name string, fset *token.FileSet, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	// Group wants by (file, line) preserving order for in-order matching.
+	byLine := map[string][]*want{}
+	for _, w := range wants {
+		k := fmt.Sprintf("%s:%d", w.file, w.line)
+		byLine[k] = append(byLine[k], w)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range byLine[k] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", name, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: missing diagnostic at %s:%d matching %q", name, w.file, w.line, w.raw)
+		}
+	}
+}

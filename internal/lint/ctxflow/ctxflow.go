@@ -1,0 +1,160 @@
+// Package ctxflow preserves the cancelability guarantee of the
+// deadline-aware synthesis work: every exported entry point of the hot
+// pipeline packages that can run for a long time must be reachable
+// under a context.Context. Concretely it flags exported functions in
+// internal/{synth,merging,ucp} that
+//
+//   - can fail (return an error — the signature of a fallible,
+//     potentially long-running entry point),
+//   - contain a nested loop (superlinear work: candidate enumeration,
+//     branch-and-bound, exhaustive sweeps), and
+//   - neither take a context.Context parameter nor call a *Context
+//     variant (the Foo → FooContext(context.Background(), …) delegation
+//     idiom used throughout the flow).
+//
+// Cheap exported accessors (single loops, no error) are deliberately
+// out of scope: the invariant protects the paths a deadline must be
+// able to cut short, not O(n) getters. There is no suppression comment
+// — add a Context variant or refactor.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags exported fallible functions with nested loops in synth/merging/ucp that neither take a context.Context nor delegate to a *Context variant",
+	Run:  run,
+}
+
+// audited is the set of package base names forming the cancelable
+// synthesis pipeline.
+var audited = map[string]bool{
+	"synth":   true,
+	"merging": true,
+	"ucp":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !audited[analysis.BaseName(pass.Path)] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !returnsError(pass, fn) || maxLoopDepth(fn.Body) < 2 {
+				continue
+			}
+			if takesContext(pass, fn) || callsContextVariant(fn.Body) {
+				continue
+			}
+			pass.Reportf(fn.Pos(), "exported %s has nested loops and returns error but neither takes a context.Context nor calls a *Context variant; deadlines cannot cut it short (ctxflow)", fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+func returnsError(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, f := range fn.Type.Results.List {
+		if t := pass.TypesInfo.TypeOf(f.Type); t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+func takesContext(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, f := range fn.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// maxLoopDepth returns the deepest for/range nesting in the body.
+// Function literals start a fresh scope: a loop inside a closure that
+// the function merely defines is still that function's work, so the
+// depth accumulates through them.
+func maxLoopDepth(body *ast.BlockStmt) int {
+	max := 0
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if depth+1 > max {
+					max = depth + 1
+				}
+				walk(m.Body, depth+1)
+				if m.Init != nil {
+					walk(m.Init, depth)
+				}
+				return false
+			case *ast.RangeStmt:
+				if depth+1 > max {
+					max = depth + 1
+				}
+				walk(m.Body, depth+1)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+	return max
+}
+
+// callsContextVariant reports whether the body calls any function or
+// method whose name ends in "Context" — the delegation idiom
+// (SolveContext, EnumerateContext, SynthesizeContext, …).
+func callsContextVariant(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.HasSuffix(name, "Context") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

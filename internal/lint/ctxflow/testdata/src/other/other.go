@@ -1,0 +1,19 @@
+// Package other is not on the ctxflow audit list.
+package other
+
+import "errors"
+
+// Sweep is exactly the shape ctxflow flags, but this package is not
+// part of the cancelable pipeline.
+func Sweep(cols [][]int) (int, error) {
+	n := 0
+	for _, c := range cols {
+		for range c {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, errors.New("empty")
+	}
+	return n, nil
+}

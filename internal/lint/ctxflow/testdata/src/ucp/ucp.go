@@ -1,0 +1,78 @@
+// Package ucp is a ctxflow fixture standing in for the audited
+// pipeline packages (synth, merging, ucp).
+package ucp
+
+import (
+	"context"
+	"errors"
+)
+
+// Matrix stands in for a solver instance.
+type Matrix struct{ cols [][]int }
+
+// Solve has nested loops, returns error, and delegates to a *Context
+// variant: allowed.
+func (m *Matrix) Solve() (int, error) {
+	return m.SolveContext(context.Background())
+}
+
+// SolveContext takes a context: allowed.
+func (m *Matrix) SolveContext(ctx context.Context) (int, error) {
+	n := 0
+	for _, c := range m.cols {
+		for range c {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			default:
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// SolveRogue does superlinear fallible work with no cancellation path:
+// flagged.
+func SolveRogue(cols [][]int) (int, error) { // want `exported SolveRogue has nested loops and returns error`
+	n := 0
+	for _, c := range cols {
+		for range c {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, errors.New("empty")
+	}
+	return n, nil
+}
+
+// Count loops once and is infallible: cheap accessor, allowed.
+func Count(cols [][]int) int {
+	n := 0
+	for _, c := range cols {
+		n += len(c)
+	}
+	return n
+}
+
+// Validate is fallible but linear: allowed.
+func Validate(xs []int) error {
+	for _, x := range xs {
+		if x < 0 {
+			return errors.New("negative")
+		}
+	}
+	return nil
+}
+
+// unexportedRogue is not an exported entry point: allowed.
+func unexportedRogue(cols [][]int) (int, error) {
+	n := 0
+	for _, c := range cols {
+		for range c {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,84 @@
+// Package errsentinel flags `err == ErrFoo` / `err != ErrFoo`
+// comparisons against the flow's typed sentinel errors (ErrCanceled,
+// ErrInfeasible, ErrCandidateCap, …) in favor of errors.Is. Every layer
+// of the pipeline wraps sentinels with %w to attach context — the cap
+// message carries the cap value, the facade re-exports internal
+// sentinels — so identity comparison silently stops matching the moment
+// anyone adds a wrap. errors.Is is the only comparison that survives
+// refactoring; the invariant applies to tests too, which is where
+// sentinel identity checks usually sneak back in.
+//
+// The rule: any equality comparison where either operand is a
+// package-level `error` variable whose name starts with "Err" is
+// flagged. Comparisons with nil are untouched. There is no suppression
+// comment — use errors.Is.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the errsentinel check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  "flags ==/!= comparisons against Err* sentinel variables; wrapped sentinels only match via errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+			return true
+		}
+		name, ok := sentinelName(pass, cmp.X)
+		if !ok {
+			name, ok = sentinelName(pass, cmp.Y)
+		}
+		if !ok {
+			return true
+		}
+		op := "=="
+		if cmp.Op == token.NEQ {
+			op = "!="
+		}
+		pass.Reportf(cmp.Pos(), "%s compares sentinel %s by identity; wrapped errors will not match — use errors.Is (errsentinel)", op, name)
+		return true
+	})
+	return nil
+}
+
+// sentinelName reports whether e denotes a package-level error variable
+// named Err*.
+func sentinelName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.IsField() || obj.Parent() == nil {
+		return "", false
+	}
+	// Package-level: its parent scope is the package scope.
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !isErrorType(obj.Type()) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }

@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "a")
+}

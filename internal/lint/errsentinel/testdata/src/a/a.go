@@ -1,0 +1,48 @@
+// Package a is the errsentinel fixture.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInfeasible is a typed sentinel like the ones the facade exports.
+var ErrInfeasible = errors.New("infeasible")
+
+// errInternal is unexported but still a sentinel by shape; the rule
+// keys on the Err name prefix, which it lacks after export rules — it
+// is named err*, so identity comparison is not flagged.
+var errInternal = errors.New("internal")
+
+// NotASentinel is an error-typed package var without the Err prefix.
+var NotASentinel = errors.New("odd name")
+
+// Check exercises the flagged and allowed comparison shapes.
+func Check(err error) int {
+	if err == ErrInfeasible { // want `== compares sentinel ErrInfeasible by identity`
+		return 1
+	}
+	if err != ErrInfeasible { // want `!= compares sentinel ErrInfeasible by identity`
+		return 2
+	}
+	if ErrInfeasible == err { // want `== compares sentinel ErrInfeasible by identity`
+		return 3
+	}
+	if errors.Is(err, ErrInfeasible) { // allowed: the fix
+		return 4
+	}
+	if err == nil { // allowed: nil check, not a sentinel
+		return 5
+	}
+	if err == errInternal { // allowed: not Err*-named (unexported err*)
+		return 6
+	}
+	if err == NotASentinel { // allowed: no Err prefix
+		return 7
+	}
+	wrapped := fmt.Errorf("cap 12: %w", ErrInfeasible)
+	if errors.Is(wrapped, ErrInfeasible) {
+		return 8
+	}
+	return 0
+}

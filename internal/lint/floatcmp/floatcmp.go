@@ -1,0 +1,79 @@
+// Package floatcmp flags `==` and `!=` between float64 (or float32)
+// operands in the packages that carry the synthesis flow's costs and
+// bounds. The CDCS optimality argument compares real-valued costs; in
+// float64 those values arrive with summation-order-dependent rounding
+// noise, so a raw equality test silently turns a mathematical tie into
+// an arbitrary, non-reproducible decision. The approved alternative is
+// repro/internal/num (Eq, Less, LessEq, Greater, GreaterEq, IsZero),
+// whose shared epsilon makes every tie-break noise-tolerant.
+//
+// Constant-vs-constant comparisons are allowed (they are evaluated
+// exactly at compile time), as are test files: tests compare against
+// values they constructed themselves, where exact equality is the
+// point. There is no suppression comment — fix or refactor.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between float operands in cost/bound-carrying packages (ucp, merging, ilp, synth, p2p, cdcs); use repro/internal/num epsilon comparators",
+	Run:  run,
+}
+
+// audited is the set of package base names whose float values are
+// costs, bounds, distances, or bandwidths feeding the exactness
+// argument.
+var audited = map[string]bool{
+	"ucp":     true,
+	"merging": true,
+	"ilp":     true,
+	"synth":   true,
+	"p2p":     true,
+	"cdcs":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !audited[analysis.BaseName(pass.Path)] {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+			return true
+		}
+		if pass.IsTestFile(cmp.Pos()) {
+			return false
+		}
+		if !isFloat(pass, cmp.X) || !isFloat(pass, cmp.Y) {
+			return true
+		}
+		if isConst(pass, cmp.X) && isConst(pass, cmp.Y) {
+			return true
+		}
+		pass.Reportf(cmp.Pos(), "float %s comparison of %s and %s; use the epsilon helpers in repro/internal/num (floatcmp)",
+			cmp.Op, types.ExprString(cmp.X), types.ExprString(cmp.Y))
+		return true
+	})
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	return pass.TypesInfo.Types[e].Value != nil
+}

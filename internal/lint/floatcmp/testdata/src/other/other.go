@@ -1,0 +1,6 @@
+// Package other is not on the floatcmp audit list; raw float equality
+// here is outside the exactness-critical flow.
+package other
+
+// Same compares floats directly and is not flagged.
+func Same(a, b float64) bool { return a == b }

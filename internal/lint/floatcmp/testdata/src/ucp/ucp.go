@@ -1,0 +1,39 @@
+// Package ucp is a floatcmp fixture standing in for the audited
+// cost/bound-carrying packages.
+package ucp
+
+// eq stands in for the approved repro/internal/num helpers; calling a
+// comparator instead of using an operator is the fix the analyzer
+// drives toward.
+func eq(a, b float64) bool { return a-b < 1e-9 && b-a < 1e-9 }
+
+// Pick compares candidate costs.
+func Pick(cost, best float64, costs []float64) int {
+	if cost == best { // want `float == comparison of cost and best`
+		return 0
+	}
+	if cost != best { // want `float != comparison of cost and best`
+		return 1
+	}
+	for i, c := range costs {
+		if eq(c, best) { // allowed: epsilon helper call
+			return i
+		}
+	}
+	if cost < best { // allowed: strict ordering is not equality
+		return 2
+	}
+	const a, b = 1.5, 2.5
+	if a == b { // allowed: constant comparison, evaluated exactly
+		return 3
+	}
+	return -1
+}
+
+// Mixed types still count when the float side decides.
+func Mixed(ratio float64) bool {
+	return ratio == 0.5 // want `float == comparison of ratio and 0.5`
+}
+
+// Ints are untouched.
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,23 @@
+// Package lint assembles the cdcsvet analyzer suite: the four
+// domain-specific checks that encode CDCS correctness invariants the
+// type system cannot express. See docs/LINT.md for the full rationale
+// of each rule and its relation to the paper's exactness claims.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/errsentinel"
+	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/mapiter"
+)
+
+// Analyzers returns the full cdcsvet suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		errsentinel.Analyzer,
+		floatcmp.Analyzer,
+		mapiter.Analyzer,
+	}
+}

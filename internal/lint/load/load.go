@@ -1,0 +1,262 @@
+// Package load is a stdlib-only package loader for the cdcsvet
+// analyzers: it parses and type-checks packages of this module (or of
+// an analysistest testdata tree) without golang.org/x/tools or network
+// access. Module-local imports are type-checked recursively from
+// source; everything else is delegated to the toolchain's gc export
+// data via go/importer.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Loader loads packages rooted at one directory tree.
+type Loader struct {
+	// Fset is shared by every package the loader touches, so
+	// diagnostics from different packages render consistently.
+	Fset *token.FileSet
+
+	root    string // absolute directory the import namespace is rooted at
+	module  string // module path prefix; "" roots the namespace directly at root
+	cache   map[string]*analysis.Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// New returns a loader for the tree at root. module is the module path
+// that maps onto root ("repro" for this repository); the empty string
+// makes every single-element import path resolve as a directory
+// directly under root, which is how analysistest testdata trees are
+// laid out.
+func New(root, module string) *Loader {
+	if abs, err := filepath.Abs(root); err == nil {
+		root = abs
+	}
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		root:    root,
+		module:  module,
+		cache:   map[string]*analysis.Package{},
+		loading: map[string]bool{},
+		std:     importer.Default(),
+	}
+}
+
+// Dirs expands patterns into package directories under the loader's
+// root: "./..." (or "...") walks the whole tree, anything else is taken
+// as one directory relative to root. testdata and hidden directories
+// are skipped — testdata holds intentional violations.
+func (l *Loader) Dirs(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...":
+			err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != l.root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if ok, err := hasGoFiles(path); err != nil {
+					return err
+				} else if ok {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(l.root, dir)
+			}
+			if ok, err := hasGoFiles(dir); err != nil {
+				return nil, err
+			} else if !ok {
+				return nil, fmt.Errorf("load: no Go files in %s", dir)
+			}
+			add(dir)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// LoadDir loads, parses, and type-checks the package in dir (which must
+// be under the loader's root). Results are memoized by import path.
+func (l *Loader) LoadDir(dir string) (*analysis.Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("load: %s is outside root %s", dir, l.root)
+	}
+	path := filepath.ToSlash(rel)
+	if path == "." {
+		path = ""
+	}
+	if l.module != "" {
+		if path == "" {
+			path = l.module
+		} else {
+			path = l.module + "/" + path
+		}
+	}
+	if path == "" {
+		return nil, fmt.Errorf("load: cannot load the bare testdata root %s as a package", dir)
+	}
+	return l.load(path, abs)
+}
+
+func (l *Loader) load(path, dir string) (*analysis.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importPath)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	pkg := &analysis.Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// importPath resolves one import during type-checking: local paths
+// recurse into the loader, everything else goes to gc export data.
+func (l *Loader) importPath(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.localDir(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) localDir(path string) (string, bool) {
+	var rel string
+	switch {
+	case l.module != "" && path == l.module:
+		rel = "."
+	case l.module != "" && strings.HasPrefix(path, l.module+"/"):
+		rel = strings.TrimPrefix(path, l.module+"/")
+	case l.module == "" && !strings.Contains(path, "."):
+		// testdata mode: any dot-free path that exists under root is a
+		// sibling fixture package; stdlib paths ("fmt", "sort") don't
+		// collide because fixtures never shadow stdlib names.
+		rel = path
+	default:
+		return "", false
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	if ok, err := hasGoFiles(dir); err == nil && ok {
+		return dir, true
+	}
+	return "", false
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModuleRoot walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func ModuleRoot(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("load: no go.mod above %s", abs)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package mapiter flags `for range` over maps in the packages that
+// produce user-visible or test-compared output. Go randomizes map
+// iteration order, so a map range in a result-producing path makes two
+// identical runs disagree byte-for-byte — breaking the deterministic
+// enumeration/output contract the workers-equivalence and golden tests
+// rely on (and that the paper's exactness argument presumes when it
+// talks about "the" synthesized architecture).
+//
+// Two patterns are recognized as safe and allowed:
+//
+//  1. Collect-then-sort: a range whose body only appends the map KEY to
+//     a slice that the same function later sorts (sort.Strings,
+//     sort.Ints, sort.Float64s, sort.Slice, slices.Sort*). The ordered
+//     slice, not the map, then drives emission.
+//  2. Order-insensitive reduction: a body consisting only of
+//     commutative accumulation — `x += ...`, `x++`/`x--`, max/min
+//     updates of the form `if a > m { m = a }`, and nested ranges over
+//     slices doing the same. Such loops compute the same value in any
+//     iteration order.
+//
+// Everything else in an audited package must iterate sorted keys.
+// There is no suppression comment — fix or refactor.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the mapiter check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags nondeterministic map iteration in result-producing packages (report, graph, merging, synth, viz) unless keys are collected and sorted or the loop is an order-insensitive reduction",
+	Run:  run,
+}
+
+// audited is the set of package base names whose output must be
+// deterministic. Matching by base name lets analysistest fixtures named
+// testdata/src/report exercise the same rule as repro/internal/report.
+var audited = map[string]bool{
+	"report":  true,
+	"graph":   true,
+	"merging": true,
+	"synth":   true,
+	"viz":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !audited[analysis.BaseName(pass.Path)] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc audits one function body: first find which slice variables
+// the function sorts, then test every map range against the two allowed
+// patterns.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorted := sortedSlices(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isKeyCollect(pass, rng, sorted) || orderInsensitive(pass, rng.Body.List) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map %s in a deterministic-output package; sort the keys first or restructure (mapiter)", types.ExprString(rng.X))
+		return true
+	})
+}
+
+// sortedSlices returns the objects of every slice passed to a sort call
+// anywhere in the function body.
+func sortedSlices(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); !isPkg ||
+			(obj.Imported().Path() != "sort" && obj.Imported().Path() != "slices") {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[arg]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isKeyCollect reports whether the range body does nothing but append
+// the map key to a slice that the function sorts.
+func isKeyCollect(pass *analysis.Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if v, ok := rng.Value.(*ast.Ident); ok && v.Name != "_" {
+		return false // the loop also consumes values; order may leak
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Tok != token.ASSIGN {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || src.Name != dst.Name {
+		return false
+	}
+	appended, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[appended] != pass.TypesInfo.ObjectOf(key) {
+		return false
+	}
+	dstObj := pass.TypesInfo.Uses[dst]
+	if dstObj == nil {
+		dstObj = pass.TypesInfo.Defs[dst]
+	}
+	return dstObj != nil && sorted[dstObj]
+}
+
+// orderInsensitive reports whether every statement is a commutative
+// accumulation whose result cannot depend on iteration order.
+func orderInsensitive(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !orderInsensitiveStmt(pass, s) {
+			return false
+		}
+	}
+	return len(stmts) > 0
+}
+
+func orderInsensitiveStmt(pass *analysis.Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		_, ok := s.X.(*ast.Ident)
+		return ok
+	case *ast.AssignStmt:
+		// x += expr: a commutative sum.
+		if s.Tok != token.ADD_ASSIGN || len(s.Lhs) != 1 {
+			return false
+		}
+		_, ok := s.Lhs[0].(*ast.Ident)
+		return ok
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.BlockStmt:
+		return orderInsensitive(pass, s.List)
+	case *ast.RangeStmt:
+		// A nested range is fine when it itself iterates something
+		// ordered (slice/array) with an order-insensitive body.
+		t := pass.TypesInfo.TypeOf(s.X)
+		if t == nil {
+			return false
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return false
+		}
+		return orderInsensitive(pass, s.Body.List)
+	case *ast.IfStmt:
+		if s.Else != nil || s.Init != nil {
+			return false
+		}
+		if orderInsensitive(pass, s.Body.List) {
+			return true
+		}
+		return isMaxMinUpdate(pass, s)
+	default:
+		return false
+	}
+}
+
+// isMaxMinUpdate matches `if <conj> && a OP m && <conj> { m = a }` where
+// OP is an ordering operator, i.e. a running max/min. The other
+// conjuncts must not mention m, so they cannot reintroduce order
+// dependence.
+func isMaxMinUpdate(pass *analysis.Pass, s *ast.IfStmt) bool {
+	if len(s.Body.List) != 1 {
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	m, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	mObj := pass.TypesInfo.Uses[m]
+	if mObj == nil {
+		return false
+	}
+	src := types.ExprString(asg.Rhs[0])
+	guard := false
+	for _, conj := range conjuncts(s.Cond) {
+		cmp, ok := conj.(*ast.BinaryExpr)
+		isOrder := ok && (cmp.Op == token.LSS || cmp.Op == token.GTR || cmp.Op == token.LEQ || cmp.Op == token.GEQ)
+		if isOrder && oneSideIs(pass, cmp, mObj, src) {
+			guard = true
+			continue
+		}
+		if mentions(pass, conj, mObj) {
+			return false
+		}
+	}
+	return guard
+}
+
+// oneSideIs reports whether cmp compares exactly the updated variable m
+// against the assigned expression src.
+func oneSideIs(pass *analysis.Pass, cmp *ast.BinaryExpr, mObj types.Object, src string) bool {
+	match := func(a, b ast.Expr) bool {
+		id, ok := a.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == mObj && types.ExprString(b) == src
+	}
+	return match(cmp.X, cmp.Y) || match(cmp.Y, cmp.X)
+}
+
+func mentions(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func conjuncts(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return append(conjuncts(b.X), conjuncts(b.Y)...)
+	}
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return conjuncts(p.X)
+	}
+	return []ast.Expr{e}
+}

@@ -1,0 +1,12 @@
+// Package other is not on the mapiter audit list: map ranges here are
+// not output-producing and stay unflagged.
+package other
+
+import "fmt"
+
+// Dump may iterate however it likes.
+func Dump(vals map[string]int) {
+	for k, v := range vals {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,91 @@
+// Package report is a mapiter fixture standing in for the audited
+// deterministic-output packages.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Emit ranges a map straight into output: flagged.
+func Emit(vals map[string]float64) string {
+	var b strings.Builder
+	for k, v := range vals { // want `range over map vals in a deterministic-output package`
+		fmt.Fprintf(&b, "%s=%g\n", k, v)
+	}
+	return b.String()
+}
+
+// EmitSorted collects keys, sorts, then emits: the approved pattern.
+func EmitSorted(vals map[string]float64) string {
+	var keys []string
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%g\n", k, vals[k])
+	}
+	return b.String()
+}
+
+// CollectWithoutSort gathers keys but never sorts them: flagged.
+func CollectWithoutSort(vals map[string]float64) []string {
+	var keys []string
+	for k := range vals { // want `range over map vals`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectValues appends the VALUE, not the key — sorting keys later
+// does not save it: flagged.
+func CollectValues(vals map[string]float64) []float64 {
+	var out []float64
+	var keys []string
+	for _, v := range vals { // want `range over map vals`
+		out = append(out, v)
+	}
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	_ = keys
+	return out
+}
+
+// Total is an order-insensitive reduction: allowed.
+func Total(sets map[int][]string) int {
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	return total
+}
+
+// MaxLen is a running max over nested slice ranges: allowed.
+func MaxLen(sets map[int][]string, needle string) int {
+	max := 0
+	for k, set := range sets {
+		for _, s := range set {
+			if s == needle && k > max {
+				max = k
+			}
+		}
+	}
+	return max
+}
+
+// FirstMatch leaks iteration order through an early assignment:
+// flagged.
+func FirstMatch(sets map[int][]string) int {
+	found := -1
+	for k := range sets { // want `range over map sets`
+		if found < 0 {
+			found = k
+		}
+	}
+	return found
+}

@@ -1,0 +1,163 @@
+// Package unitchecker implements the `go vet -vettool` protocol for the
+// cdcsvet suite without depending on golang.org/x/tools: cmd/go invokes
+// the tool once per compilation unit with the path to a JSON config
+// describing the unit's files and the export data of its dependencies;
+// the tool type-checks the unit from that config alone, runs its
+// analyzers, writes the (empty) facts file cmd/go expects, and reports
+// diagnostics on stderr with a non-zero exit.
+//
+// The handshake, observed from go1.24 cmd/go and matching x/tools'
+// unitchecker:
+//
+//	cdcsvet -flags            → JSON list of tool flags (none)
+//	cdcsvet -V=full           → one version line, hashed into build IDs
+//	cdcsvet <unit>/vet.cfg    → analyze one unit
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config mirrors the vet config JSON cmd/go writes for each unit.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run analyzes the unit described by cfgPath and returns the process
+// exit code: 0 clean, 1 operational failure, 2 diagnostics reported.
+func Run(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
+		return 1
+	}
+	// cmd/go caches analysis facts per unit in the vetx file and fails
+	// if the tool does not produce one; the suite carries no facts, so
+	// an empty file is the correct output — and for VetxOnly units
+	// (dependencies analyzed solely for their facts) it is the whole
+	// job.
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+		fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "cdcsvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.Run(&analysis.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(cfg.GoFiles) == 0 && !cfg.VetxOnly {
+		return nil, fmt.Errorf("%s: no Go files to analyze", path)
+	}
+	return cfg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

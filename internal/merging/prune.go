@@ -2,6 +2,7 @@ package merging
 
 import (
 	"repro/internal/library"
+	"repro/internal/num"
 )
 
 // The non-mergeability conditions. All are *sufficient* conditions for a
@@ -15,8 +16,14 @@ import (
 // mergeable when d(aᵢ)+d(aⱼ) ≤ ‖p(uᵢ)−p(uⱼ)‖+‖p(vᵢ)−p(vⱼ)‖, i.e. when
 // Γ(aᵢ,aⱼ) ≤ Δ(aᵢ,aⱼ): the detour through any shared path costs at
 // least as much as the two direct implementations.
+//
+// The comparison is epsilon-tolerant (num.LessEq): both sides are sums
+// of Euclidean distances, so a mathematical tie — common in symmetric
+// layouts — may come out split by float rounding. Treating
+// within-noise ties as the lemma's ≤ keeps the prune decision
+// independent of summation order.
 func NotMergeablePair(gamma, delta *SymMatrix, i, j int) bool {
-	return gamma.At(i, j) <= delta.At(i, j)
+	return num.LessEq(gamma.At(i, j), delta.At(i, j))
 }
 
 // NotMergeableRef is Lemma 3.2 with aᵣ as the reference arc: the set
@@ -35,7 +42,7 @@ func NotMergeableRef(gamma, delta *SymMatrix, arcs []int, ref int) bool {
 		lhs += gamma.At(i, ref)
 		rhs += delta.At(i, ref)
 	}
-	return lhs <= rhs
+	return num.LessEq(lhs, rhs)
 }
 
 // NotMergeableBandwidth is Theorem 3.2: the set is not mergeable when
@@ -54,7 +61,7 @@ func NotMergeableBandwidth(bw []float64, arcs []int, lib *library.Library) bool 
 			min = bw[i]
 		}
 	}
-	return sum >= lib.MaxBandwidth()+min
+	return num.GreaterEq(sum, lib.MaxBandwidth()+min)
 }
 
 // RefPolicy selects how the Lemma 3.2 reference arc is chosen when

@@ -1,0 +1,59 @@
+// Package num centralizes epsilon-tolerant float64 comparisons for the
+// synthesis flow's cost, bound, and distance arithmetic.
+//
+// The exactness claims of the CDCS algorithm (Lemmas 3.1/3.2, Theorems
+// 3.1/3.2) are stated over real arithmetic; the implementation computes
+// the same quantities in float64, where sums of Euclidean distances and
+// bandwidth ratios accumulate rounding noise on the order of 1e-12 per
+// operation. Comparing such values with raw `==`, `<=`, or `>=` makes
+// prune decisions and tie-breaks depend on summation order — exactly
+// the kind of silent nondeterminism the cdcsvet `floatcmp` analyzer
+// exists to reject. Every cost/bound comparison in the hot path goes
+// through this package instead, with one shared absolute tolerance.
+//
+// The helpers come in two deliberate flavors:
+//
+//   - Eq/LessEq/GreaterEq treat values within Eps as equal, so a
+//     mathematical tie that float noise split apart is still a tie;
+//   - Less/Greater require a margin of more than Eps, so "strictly
+//     better" means better beyond noise.
+//
+// Eps is absolute, not relative: the quantities compared here (costs,
+// distances, bandwidths) are unit-scaled in the paper's benchmarks,
+// magnitudes roughly 1e-3..1e4, where an absolute 1e-9 is far above
+// accumulated rounding error and far below any genuine difference.
+package num
+
+import "math"
+
+// Eps is the shared comparison tolerance. It matches the 1e-9 slack the
+// synthesis dominance check has always used, sitting comfortably
+// between float64 rounding noise (~1e-12) and the smallest meaningful
+// cost difference in the supported workloads.
+const Eps = 1e-9
+
+// Eq reports a ≈ b: the values differ by at most Eps.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// Less reports a < b by more than Eps (definitely less, beyond noise).
+func Less(a, b float64) bool { return a < b-Eps }
+
+// LessEq reports a ≤ b within tolerance: a is smaller or Eq to b.
+func LessEq(a, b float64) bool { return a <= b+Eps }
+
+// Greater reports a > b by more than Eps (definitely greater).
+func Greater(a, b float64) bool { return a > b+Eps }
+
+// GreaterEq reports a ≥ b within tolerance: a is larger or Eq to b.
+func GreaterEq(a, b float64) bool { return a >= b-Eps }
+
+// IsZero reports |a| ≤ Eps.
+func IsZero(a float64) bool { return math.Abs(a) <= Eps }
+
+// Positive reports a > Eps: positive beyond noise.
+func Positive(a float64) bool { return a > Eps }
+
+// Ceil is an epsilon-guarded integer ceiling: a quotient that float
+// noise nudged just above an integer (2.0000000000000004) still rounds
+// to that integer instead of demanding one more unit of capacity.
+func Ceil(x float64) int { return int(math.Ceil(x - Eps)) }

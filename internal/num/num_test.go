@@ -1,0 +1,117 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + 1e-12, true},  // rounding noise is a tie
+		{1, 1 + 0.5e-9, true}, // within Eps
+		{1, 1 + 2e-9, false},  // beyond Eps
+		{0, 0, true},
+		{0, Eps, true}, // boundary is inclusive
+		{-1, 1, false},
+		{1, 2, false},
+		{math.Inf(1), math.Inf(1), false}, // Inf-Inf is NaN: not equal
+		{3.5, math.Inf(1), false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Eq(c.b, c.a); got != c.want {
+			t.Errorf("Eq(%g, %g) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	cases := []struct {
+		name                             string
+		a, b                             float64
+		less, lessEq, greater, greaterEq bool
+	}{
+		{"far below", 1, 2, true, true, false, false},
+		{"far above", 2, 1, false, false, true, true},
+		{"exactly equal", 1, 1, false, true, false, true},
+		{"noise above", 1 + 1e-12, 1, false, true, false, true},
+		{"noise below", 1 - 1e-12, 1, false, true, false, true},
+		{"just beyond eps above", 1 + 2e-9, 1, false, false, true, true},
+		{"just beyond eps below", 1 - 2e-9, 1, true, true, false, false},
+		{"vs +inf", 1, math.Inf(1), true, true, false, false},
+	}
+	for _, c := range cases {
+		if got := Less(c.a, c.b); got != c.less {
+			t.Errorf("%s: Less(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.less)
+		}
+		if got := LessEq(c.a, c.b); got != c.lessEq {
+			t.Errorf("%s: LessEq(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.lessEq)
+		}
+		if got := Greater(c.a, c.b); got != c.greater {
+			t.Errorf("%s: Greater(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.greater)
+		}
+		if got := GreaterEq(c.a, c.b); got != c.greaterEq {
+			t.Errorf("%s: GreaterEq(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.greaterEq)
+		}
+	}
+}
+
+// The two flavors partition cleanly: for any pair, exactly one of
+// Less / Eq / Greater holds, and the Eq-inclusive forms agree.
+func TestTrichotomy(t *testing.T) {
+	vals := []float64{0, 1e-12, Eps, 2e-9, 0.5, 1, 1 + 1e-12, 1 + 2e-9, 100, -3}
+	for _, a := range vals {
+		for _, b := range vals {
+			n := 0
+			if Less(a, b) {
+				n++
+			}
+			if Eq(a, b) {
+				n++
+			}
+			if Greater(a, b) {
+				n++
+			}
+			if n != 1 {
+				t.Errorf("trichotomy violated for (%v, %v): %d of {Less,Eq,Greater} hold", a, b, n)
+			}
+			if LessEq(a, b) != (Less(a, b) || Eq(a, b)) {
+				t.Errorf("LessEq(%v, %v) disagrees with Less||Eq", a, b)
+			}
+			if GreaterEq(a, b) != (Greater(a, b) || Eq(a, b)) {
+				t.Errorf("GreaterEq(%v, %v) disagrees with Greater||Eq", a, b)
+			}
+		}
+	}
+}
+
+func TestZeroAndCeil(t *testing.T) {
+	if !IsZero(0) || !IsZero(1e-12) || IsZero(2e-9) || IsZero(-1) {
+		t.Error("IsZero boundary behavior wrong")
+	}
+	if Positive(0) || Positive(1e-12) || !Positive(2e-9) || !Positive(1) {
+		t.Error("Positive boundary behavior wrong")
+	}
+	ceilCases := []struct {
+		x    float64
+		want int
+	}{
+		{2.0, 2},
+		{2.0000000000000004, 2}, // 2.4/1.2 in float64
+		{2.0 + 1e-8, 3},         // genuinely above
+		{1.5, 2},
+		{0, 0},
+		{0.9999999999, 1}, // just below an integer still needs a full unit
+	}
+	for _, c := range ceilCases {
+		if got := Ceil(c.x); got != c.want {
+			t.Errorf("Ceil(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/impl"
 	"repro/internal/library"
 	"repro/internal/model"
+	"repro/internal/num"
 )
 
 // Options tunes point-to-point synthesis.
@@ -96,7 +97,7 @@ func planFor(l library.Link, d, b float64, lib *library.Library, opt Options) (P
 	}
 	chains := 1
 	if l.Bandwidth < b {
-		chains = int(math.Ceil(b/l.Bandwidth - 1e-12))
+		chains = num.Ceil(b / l.Bandwidth)
 		if chains > opt.maxChains() {
 			return Plan{}, false
 		}
@@ -106,7 +107,7 @@ func planFor(l library.Link, d, b float64, lib *library.Library, opt Options) (P
 		if l.MaxSpan <= 0 {
 			return Plan{}, false
 		}
-		segments = int(math.Ceil(d/l.MaxSpan - 1e-12))
+		segments = num.Ceil(d / l.MaxSpan)
 		if segments < 1 {
 			segments = 1
 		}

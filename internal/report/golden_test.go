@@ -1,0 +1,38 @@
+package report
+
+import "testing"
+
+// Report rendering feeds EXPERIMENTS.md and the CLI: it must be
+// byte-identical across runs (the mapiter determinism contract).
+func TestRenderingByteStable(t *testing.T) {
+	names := []string{"mpeg4", "lan", "wan"}
+	at := func(i, j int) float64 { return float64(i*10 + j) }
+	records := []Record{
+		{Experiment: "E1 / Table 1", Metric: "cost", Paper: "12.2", Measured: "12.2", Match: true},
+		{Experiment: "E2 / Table 2", Metric: "savings", Paper: "31%", Measured: "30%", Match: false, Note: "rounding"},
+	}
+
+	tri := UpperTriangle(names, at)
+	tbl := Table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	rec := FormatRecords(records)
+	for i := 0; i < 10; i++ {
+		if got := UpperTriangle(names, at); got != tri {
+			t.Fatalf("run %d: UpperTriangle output differs between identical runs", i)
+		}
+		if got := Table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}}); got != tbl {
+			t.Fatalf("run %d: Table output differs between identical runs", i)
+		}
+		if got := FormatRecords(records); got != rec {
+			t.Fatalf("run %d: FormatRecords output differs between identical runs", i)
+		}
+	}
+
+	wantTri := "" +
+		"          mpeg4      lan      wan\n" +
+		"mpeg4               1.00     2.00\n" +
+		"lan                         12.00\n" +
+		"wan                              \n"
+	if tri != wantTri {
+		t.Errorf("UpperTriangle drifted from golden:\ngot:\n%q\nwant:\n%q", tri, wantTri)
+	}
+}

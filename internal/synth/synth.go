@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/library"
 	"repro/internal/merging"
 	"repro/internal/model"
+	"repro/internal/num"
 	"repro/internal/p2p"
 	"repro/internal/place"
 	"repro/internal/ucp"
@@ -170,7 +172,7 @@ func (r *Report) ResultOptimal() bool {
 // SavingsPercent returns how much cheaper the synthesized architecture
 // is than the optimum point-to-point implementation graph, in percent.
 func (r *Report) SavingsPercent() float64 {
-	if r.P2PCost == 0 {
+	if num.IsZero(r.P2PCost) {
 		return 0
 	}
 	return 100 * (1 - r.Cost/r.P2PCost)
@@ -487,7 +489,7 @@ func priceCandidates(
 			for _, ch := range set {
 				alt += p2pPlans[ch].Cost
 			}
-			if cand.Cost >= alt-1e-9 {
+			if num.GreaterEq(cand.Cost, alt) {
 				report.DominatedMergings++
 				continue
 			}
@@ -543,8 +545,16 @@ func materialize(cg *model.ConstraintGraph, lib *library.Library, report *Report
 			return nil, fmt.Errorf("synth: unknown candidate kind %q", cand.Kind)
 		}
 	}
-	for ch, paths := range pathsOf {
-		ig.AssignImplementation(ch, paths)
+	// Assign in sorted channel order: each key is touched exactly once
+	// so the result cannot depend on order, but iterating the map
+	// directly would still trip the mapiter determinism invariant.
+	channels := make([]model.ChannelID, 0, len(pathsOf))
+	for ch := range pathsOf {
+		channels = append(channels, ch)
+	}
+	sort.Slice(channels, func(i, j int) bool { return channels[i] < channels[j] })
+	for _, ch := range channels {
+		ig.AssignImplementation(ch, pathsOf[ch])
 	}
 	if err := ig.Verify(impl.VerifyOptions{}); err != nil {
 		return nil, fmt.Errorf("synth: internal error: synthesized graph fails verification: %w", err)

@@ -1,23 +1,47 @@
 package ucp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/num"
 )
 
 // SolveGreedy returns a feasible (not necessarily optimal) cover using
 // the classical weight-per-newly-covered-row heuristic. It serves as a
 // baseline for the exact solver and as its initial incumbent.
 func (m *Matrix) SolveGreedy() (Solution, error) {
+	return m.SolveGreedyContext(context.Background())
+}
+
+// SolveGreedyContext is SolveGreedy under cooperative cancellation: the
+// context is polled once per chosen column (the greedy outer loop), and
+// a cancellation mid-run returns the context's error wrapped — unlike
+// the exact solver there is no feasible partial cover to hand back.
+//
+// Tie-breaks are epsilon-tolerant: two columns whose cost-per-new-row
+// ratios differ only by float noise (num.Eq) are a tie, resolved toward
+// the column covering more rows and then toward the lower index, so the
+// chosen cover cannot depend on the order rounding errors accumulate.
+func (m *Matrix) SolveGreedyContext(ctx context.Context) (Solution, error) {
 	if !m.Feasible() {
 		return Solution{}, ErrInfeasible
 	}
+	done := ctx.Done()
 	covered := make([]bool, m.numRows)
 	remaining := m.numRows
 	var chosen []int
 	var cost float64
 	for remaining > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return Solution{}, fmt.Errorf("ucp: greedy interrupted: %w", ctx.Err())
+			default:
+			}
+		}
 		bestJ := -1
 		bestRatio := math.Inf(1)
 		bestNew := 0
@@ -32,7 +56,14 @@ func (m *Matrix) SolveGreedy() (Solution, error) {
 				continue
 			}
 			ratio := c.Weight / float64(newRows)
-			if ratio < bestRatio || (ratio == bestRatio && newRows > bestNew) {
+			switch {
+			case bestJ < 0:
+				bestJ, bestRatio, bestNew = j, ratio, newRows
+			case num.Eq(ratio, bestRatio):
+				if newRows > bestNew {
+					bestJ, bestRatio, bestNew = j, ratio, newRows
+				}
+			case ratio < bestRatio:
 				bestJ, bestRatio, bestNew = j, ratio, newRows
 			}
 		}
@@ -56,6 +87,14 @@ func (m *Matrix) SolveGreedy() (Solution, error) {
 // optimum. It exists to cross-check the branch-and-bound solver in tests
 // and refuses instances with more than 24 columns.
 func (m *Matrix) SolveExhaustive() (Solution, error) {
+	return m.SolveExhaustiveContext(context.Background())
+}
+
+// SolveExhaustiveContext is SolveExhaustive under cooperative
+// cancellation, polling the context every cancelCheckInterval subset
+// masks; a 24-column instance walks 16M subsets, long enough to need a
+// way out. A cancellation mid-run returns the context's error wrapped.
+func (m *Matrix) SolveExhaustiveContext(ctx context.Context) (Solution, error) {
 	n := len(m.cols)
 	if n > 24 {
 		return Solution{}, fmt.Errorf("ucp: exhaustive solver limited to 24 columns, got %d", n)
@@ -63,9 +102,17 @@ func (m *Matrix) SolveExhaustive() (Solution, error) {
 	if !m.Feasible() {
 		return Solution{}, ErrInfeasible
 	}
+	done := ctx.Done()
 	bestCost := math.Inf(1)
 	var best []int
 	for mask := 0; mask < 1<<n; mask++ {
+		if done != nil && mask&(cancelCheckInterval-1) == 0 {
+			select {
+			case <-done:
+				return Solution{}, fmt.Errorf("ucp: exhaustive interrupted: %w", ctx.Err())
+			default:
+			}
+		}
 		var cost float64
 		covered := make([]bool, m.numRows)
 		count := 0

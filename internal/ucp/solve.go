@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"sort"
+
+	"repro/internal/num"
 )
 
 // cancelCheckInterval is how many branch-and-bound nodes are explored
@@ -280,8 +282,9 @@ func (s *bbState) reduce(active, avail []bool) (changed, feasible bool, extraCos
 				continue
 			}
 			// a dominated by b: cover(a) ⊆ cover(b), weight(a) ≥ weight(b).
-			// Tie-break by index so equal columns do not erase each other.
-			if a.w > b.w || (a.w == b.w && a.j > b.j) {
+			// Weights that differ only by float noise are a tie, broken by
+			// index so equal columns do not erase each other.
+			if num.Greater(a.w, b.w) || (num.Eq(a.w, b.w) && a.j > b.j) {
 				if subsetSorted(a.rows, b.rows) {
 					avail[a.j] = false
 					s.stats.Reductions++

@@ -2,6 +2,7 @@ package viz
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/geom"
@@ -20,8 +21,15 @@ func RoutedImplementation(ig *impl.Graph, routes map[graph.ArcID][]geom.Point, o
 	for v := 0; v < ig.NumVertices(); v++ {
 		pts = append(pts, ig.Vertex(graph.VertexID(v)).Position)
 	}
-	for _, route := range routes {
-		pts = append(pts, route...)
+	// Gather route points in sorted arc order so the emitted SVG is
+	// byte-identical across runs (mapiter invariant).
+	routed := make([]graph.ArcID, 0, len(routes))
+	for id := range routes {
+		routed = append(routed, id)
+	}
+	sort.Slice(routed, func(i, j int) bool { return routed[i] < routed[j] })
+	for _, id := range routed {
+		pts = append(pts, routes[id]...)
 	}
 	t := fit(pts, o)
 

@@ -44,6 +44,36 @@ func TestRoutedImplementationSVG(t *testing.T) {
 	}
 }
 
+// Two renders of the same implementation must be byte-identical even
+// when the route map was populated in different insertion orders: the
+// renderer iterates routes in sorted-arc order, not map order.
+func TestRoutedImplementationByteStable(t *testing.T) {
+	cg := workloads.MPEG4()
+	lib := workloads.MPEG4Technology().Library()
+	ig, _, err := p2p.Synthesize(cg, lib, p2p.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := routing.RouteImplementation(ig, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := make(map[graph.ArcID][]geom.Point, len(routed.Routes))
+	for _, r := range routed.Routes {
+		forward[r.Arc] = r.Points
+	}
+	backward := make(map[graph.ArcID][]geom.Point, len(routed.Routes))
+	for i := len(routed.Routes) - 1; i >= 0; i-- {
+		backward[routed.Routes[i].Arc] = routed.Routes[i].Points
+	}
+	ref := RoutedImplementation(ig, forward, Options{ShowLabels: true})
+	for i := 0; i < 10; i++ {
+		if got := RoutedImplementation(ig, backward, Options{ShowLabels: true}); got != ref {
+			t.Fatalf("run %d: SVG differs across insertion orders", i)
+		}
+	}
+}
+
 func TestCongestionHeatmap(t *testing.T) {
 	cg := workloads.MPEG4()
 	lib := workloads.MPEG4Technology().Library()
