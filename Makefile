@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 VETTOOL := $(CURDIR)/$(BIN)/cdcsvet
 
-.PHONY: all build test race vet lint tools clean
+.PHONY: all build test race vet lint tools bench-gate bench-seed trace-example clean
 
 all: build test
 
@@ -26,6 +26,26 @@ tools:
 # Run the cdcsvet analyzers over every package, test files included.
 lint: tools
 	$(GO) vet -vettool=$(VETTOOL) ./...
+
+# Run the short benchmark suite with algorithm counters and gate it
+# against the committed seed trajectory (BENCH_seed.json): wall time
+# within +30%, deterministic counters matched exactly. See
+# docs/OBSERVABILITY.md.
+bench-gate:
+	@mkdir -p $(BIN)
+	$(GO) run ./cmd/cdcs-bench -short -json $(BIN)/bench.json
+	$(GO) run ./cmd/bench-diff -seed BENCH_seed.json -run $(BIN)/bench.json
+
+# Regenerate the committed seed after a deliberate algorithmic change
+# (commit the new BENCH_seed.json together with the change).
+bench-seed:
+	$(GO) run ./cmd/cdcs-bench -short -json BENCH_seed.json
+
+# Produce an example Chrome trace of the WAN synthesis — open
+# $(BIN)/wan-trace.json in chrome://tracing or ui.perfetto.dev.
+trace-example:
+	@mkdir -p $(BIN)
+	$(GO) run ./cmd/cdcs -example wan -trace $(BIN)/wan-trace.json -metrics
 
 clean:
 	rm -rf $(BIN)

@@ -46,6 +46,7 @@ import (
 	"repro/internal/library"
 	"repro/internal/merging"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/ucp"
 	"repro/internal/viz"
@@ -191,7 +192,33 @@ type Options struct {
 	// — with Report.Degradation describing what was cut short and
 	// bounding the optimality gap. Zero means no deadline.
 	Timeout time.Duration
+	// Observer, when non-nil, collects the run's observability data:
+	// a span trace of every synthesis phase, a registry of algorithm
+	// counters (prune hits, branch-and-bound nodes, planner cache
+	// traffic, …), and runtime/pprof phase labels. Build one with
+	// NewObserver, run Synthesize, then export with the observer's
+	// Tracer()/Metrics() accessors. Nil (the default) disables
+	// observability at negligible cost. See docs/OBSERVABILITY.md.
+	Observer *Observer
 }
+
+// Observability.
+type (
+	// Observer collects spans, metrics and pprof labels for synthesis
+	// runs; one Observer may serve many runs (counters accumulate,
+	// traces grow a root span per run).
+	Observer = obs.Sink
+	// ObserverConfig selects an Observer's collectors.
+	ObserverConfig = obs.Config
+	// TraceSpan is one timed region of an exported trace.
+	TraceSpan = obs.Span
+	// MetricsSnapshot is a deterministic point-in-time copy of an
+	// Observer's metrics.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewObserver builds an Observer with the collectors cfg enables.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
 
 // Synthesize runs the full constraint-driven synthesis flow and returns
 // the verified minimum-cost implementation graph and the run report.
@@ -224,6 +251,9 @@ func SynthesizeContext(ctx context.Context, cg *ConstraintGraph, lib *Library, o
 		o.Solver = synth.GreedySolver
 	}
 	o.KeepDominated = opt.KeepDominated
+	if opt.Observer != nil {
+		ctx = obs.NewContext(ctx, opt.Observer)
+	}
 	return synth.SynthesizeContext(ctx, cg, lib, o)
 }
 

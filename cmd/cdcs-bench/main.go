@@ -12,13 +12,17 @@
 //	cdcs-bench -md             # emit Markdown (EXPERIMENTS.md-style sections)
 //	cdcs-bench -timeout 2s     # per-synthesis-run deadline (anytime degradation)
 //	cdcs-bench -json out.json  # also write a machine-readable baseline
-//	                           #   (per-experiment pass/fail + wall time);
-//	                           #   BENCH_seed.json in the repo root is the
-//	                           #   committed reference trajectory
+//	                           #   (per-experiment pass/fail, wall time, and
+//	                           #   the observability layer's deterministic
+//	                           #   algorithm counters); BENCH_seed.json in
+//	                           #   the repo root is the committed reference
+//	                           #   trajectory gated by cmd/bench-diff
+//	cdcs-bench -trace t.json   # write a Chrome trace_event file of every
+//	                           #   synthesis phase (chrome://tracing, Perfetto)
+//	cdcs-bench -metrics        # print the final metrics snapshot
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,30 +30,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
-
-// benchBaseline is the machine-readable run record written by -json: a
-// perf/regression trajectory point for comparison across commits.
-type benchBaseline struct {
-	GoVersion string           `json:"goVersion"`
-	GOOS      string           `json:"goos"`
-	GOARCH    string           `json:"goarch"`
-	NumCPU    int              `json:"numCPU"`
-	Workers   int              `json:"workers"`
-	Timeout   string           `json:"timeout,omitempty"`
-	Short     bool             `json:"short"`
-	Runs      []benchRunRecord `json:"runs"`
-}
-
-type benchRunRecord struct {
-	ID        string  `json:"id"`
-	Name      string  `json:"name"`
-	Title     string  `json:"title"`
-	Passed    bool    `json:"passed"`
-	ElapsedMs float64 `json:"elapsedMs"`
-}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig3, candidates, fig4, fig5, flowsim, lid, bwsweep, lan, baseline, steiner, ablation, scaling")
@@ -57,10 +42,22 @@ func main() {
 	md := flag.Bool("md", false, "emit Markdown instead of plain text")
 	workers := flag.Int("workers", 0, "candidate-pricing worker pool size for every synthesis run (0 = all CPUs, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-synthesis-run deadline for every experiment (0 = none); expired runs degrade instead of hanging")
-	jsonPath := flag.String("json", "", "write a machine-readable baseline (per-experiment pass/fail and wall time) to this file")
+	jsonPath := flag.String("json", "", "write a machine-readable baseline (per-experiment pass/fail, wall time, algorithm counters) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every synthesis phase to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics snapshot after the run")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
 	experiments.SetTimeout(*timeout)
+
+	// -json needs the counter registry even if the user asked for
+	// nothing else; -trace needs the tracer. The sink serves every
+	// experiment's synthesis runs.
+	sink := obs.New(obs.Config{
+		Tracing:     *tracePath != "",
+		Metrics:     *jsonPath != "" || *metrics,
+		PprofLabels: true,
+	})
+	experiments.SetSink(sink)
 
 	runners := []struct {
 		name string
@@ -83,7 +80,7 @@ func main() {
 		{"scaling", true, func() experiments.Outcome { return experiments.Scaling(nil) }},
 	}
 
-	baseline := benchBaseline{
+	baseline := benchfmt.Baseline{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -97,6 +94,7 @@ func main() {
 
 	allPassed := true
 	matched := false
+	prev := sink.Metrics().Snapshot().CounterMap()
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.name {
 			continue
@@ -108,13 +106,21 @@ func main() {
 		runStart := time.Now()
 		o := r.run()
 		elapsed := time.Since(runStart)
-		baseline.Runs = append(baseline.Runs, benchRunRecord{
+		rec := benchfmt.Run{
 			ID:        o.ID,
 			Name:      r.name,
 			Title:     o.Title,
 			Passed:    o.Passed(),
 			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
-		})
+		}
+		// The registry accumulates across the whole process; the run's
+		// own counters are the delta against the previous snapshot.
+		if *jsonPath != "" {
+			cur := sink.Metrics().Snapshot().CounterMap()
+			rec.Counters = counterDelta(prev, cur)
+			prev = cur
+		}
+		baseline.Runs = append(baseline.Runs, rec)
 		if *md {
 			fmt.Print(report.MarkdownSection(o.ID, o.Title, o.Text, o.Records))
 		} else {
@@ -143,19 +149,48 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(baseline, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cdcs-bench: encode baseline:", err)
-			os.Exit(1)
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		if err := baseline.Write(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "cdcs-bench: write baseline:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("baseline written to %s\n", *jsonPath)
 	}
+	if *tracePath != "" {
+		data, err := sink.Tracer().ChromeTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs-bench: encode trace:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*tracePath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs-bench: write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metrics {
+		data, err := sink.Metrics().Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs-bench: encode metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	}
 	if !allPassed {
 		os.Exit(1)
 	}
+}
+
+// counterDelta returns cur minus prev, dropping zero deltas so
+// experiments that run no synthesis carry no counters at all.
+func counterDelta(prev, cur map[string]int64) map[string]int64 {
+	var out map[string]int64
+	for name, v := range cur {
+		if d := v - prev[name]; d != 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[name] = d
+		}
+	}
+	return out
 }

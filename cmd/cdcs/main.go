@@ -7,11 +7,20 @@
 //	cdcs -graph wan.json -lib wan-lib.json [-dot out.dot] [-solver exact|greedy]
 //	cdcs -example wan|mpeg4 [-dot out.dot] [-svg out.svg]   # built-in instance
 //	cdcs -example wan -timeout 100ms                        # deadline-bounded run
+//	cdcs -example wan -trace t.json -metrics                # observability on
+//	cdcs -example wan -report rep.json                      # machine-readable outcome
 //
 // With -timeout the run has anytime semantics: on deadline the flow
 // degrades to the best feasible architecture found so far (verified,
 // possibly sub-optimal) and the report carries a degradation section
 // with an optimality-gap bound; the exit code stays 0.
+//
+// -trace writes a Chrome trace_event JSON of the synthesis phases
+// (open in chrome://tracing or ui.perfetto.dev), -metrics prints the
+// algorithm-counter snapshot, and -report writes a small JSON summary
+// (cost, optimality, degradation) that scripts and CI assert against
+// instead of grepping the human-readable output. See
+// docs/OBSERVABILITY.md.
 //
 // The graph JSON schema matches model.ConstraintGraph's MarshalJSON:
 //
@@ -29,10 +38,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/baseline"
@@ -41,6 +52,7 @@ import (
 	"repro/internal/library"
 	"repro/internal/merging"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/report"
 	"repro/internal/synth"
@@ -59,6 +71,9 @@ func main() {
 	simulate := flag.Bool("simulate", false, "validate the result with the flow simulator")
 	workers := flag.Int("workers", 0, "candidate-pricing worker pool size (0 = all CPUs, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "overall synthesis deadline (0 = none); on expiry the run degrades to the best feasible architecture instead of failing")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis phases to this file")
+	metrics := flag.Bool("metrics", false, "print the algorithm-counter snapshot after the run")
+	reportPath := flag.String("report", "", "write a machine-readable JSON run summary (cost, optimality, degradation) to this file")
 	flag.Parse()
 
 	cg, lib, err := loadInputs(*graphPath, *libPath, *example)
@@ -66,6 +81,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cdcs:", err)
 		os.Exit(2)
 	}
+
+	// Observability: a sink only when something will read it, and a
+	// pprof label naming the workload either way (visible in profiles
+	// taken with -http style wrappers or external pprof attach).
+	var sink *obs.Sink
+	if *tracePath != "" || *metrics {
+		sink = obs.New(obs.Config{Tracing: *tracePath != "", Metrics: *metrics, PprofLabels: true})
+	}
+	ctx := obs.NewContext(context.Background(), sink)
+	ctx = obs.WithLabels(ctx, "workload", workloadName(*graphPath, *example))
 
 	opts := synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
@@ -76,10 +101,10 @@ func main() {
 	var rep *synth.Report
 	switch *solver {
 	case "exact":
-		ig, rep, err = synth.Synthesize(cg, lib, opts)
+		ig, rep, err = synth.SynthesizeContext(ctx, cg, lib, opts)
 	case "greedy":
 		opts.Solver = synth.GreedySolver
-		ig, rep, err = synth.Synthesize(cg, lib, opts)
+		ig, rep, err = synth.SynthesizeContext(ctx, cg, lib, opts)
 	case "baseline":
 		var brep *baseline.Report
 		ig, brep, err = baseline.Synthesize(cg, lib, baseline.Options{})
@@ -112,6 +137,89 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cdcs:", err)
 		os.Exit(1)
 	}
+	if err := writeObsOutputs(sink, *tracePath, *metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "cdcs:", err)
+		os.Exit(1)
+	}
+	if *reportPath != "" {
+		if err := writeRunReport(*reportPath, *solver, cg, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "cdcs:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// workloadName labels the run for runtime/pprof profiles.
+func workloadName(graphPath, example string) string {
+	if example != "" {
+		return example
+	}
+	return filepath.Base(graphPath)
+}
+
+// runReport is the -report JSON: the fields scripts assert against
+// (CI's deadline-smoke job checks optimal/degradation here instead of
+// grepping the human-readable output).
+type runReport struct {
+	Solver      string   `json:"solver"`
+	Channels    int      `json:"channels"`
+	Cost        float64  `json:"cost"`
+	P2PCost     float64  `json:"p2pCost"`
+	SavingsPct  float64  `json:"savingsPercent"`
+	Optimal     bool     `json:"optimal"`
+	Degraded    bool     `json:"degraded"`
+	Degradation []string `json:"degradation"`
+	GapBound    float64  `json:"gapBound"`
+	ElapsedMs   float64  `json:"elapsedMs"`
+}
+
+func writeRunReport(path, solver string, cg *model.ConstraintGraph, rep *synth.Report) error {
+	rr := runReport{
+		Solver:      solver,
+		Channels:    cg.NumChannels(),
+		Cost:        rep.Cost,
+		P2PCost:     rep.P2PCost,
+		SavingsPct:  rep.SavingsPercent(),
+		Optimal:     rep.ResultOptimal(),
+		Degraded:    rep.Degradation.Degraded(),
+		Degradation: rep.Degradation.Summary(),
+		GapBound:    rep.Degradation.GapBound,
+		ElapsedMs:   float64(rep.Elapsed.Microseconds()) / 1000,
+	}
+	if rr.Degradation == nil {
+		rr.Degradation = []string{}
+	}
+	data, err := json.MarshalIndent(rr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	fmt.Printf("report written to %s\n", path)
+	return nil
+}
+
+// writeObsOutputs exports what the sink collected.
+func writeObsOutputs(sink *obs.Sink, tracePath string, metrics bool) error {
+	if tracePath != "" {
+		data, err := sink.Tracer().ChromeTrace()
+		if err != nil {
+			return fmt.Errorf("encode trace: %w", err)
+		}
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	}
+	if metrics {
+		data, err := sink.Metrics().Snapshot().JSON()
+		if err != nil {
+			return fmt.Errorf("encode metrics: %w", err)
+		}
+		fmt.Println(string(data))
+	}
+	return nil
 }
 
 func runSimulation(ig *impl.Graph) error {

@@ -54,7 +54,7 @@ func Ablation() Outcome {
 		for _, v := range variants {
 			w := inst.cg()
 			start := time.Now()
-			_, rep, err := synth.Synthesize(w.cg, w.lib, synthOpts(synth.Options{Merging: v.opts}))
+			_, rep, err := synth.SynthesizeContext(synthCtx("ablation"), w.cg, w.lib, synthOpts(synth.Options{Merging: v.opts}))
 			elapsed := time.Since(start)
 			if err != nil {
 				rows = append(rows, []string{inst.name, v.name, "error: " + err.Error(), "", "", ""})

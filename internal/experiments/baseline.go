@@ -46,7 +46,7 @@ func BaselineComparison() Outcome {
 	for _, in := range instances {
 		w := in.cg()
 		start := time.Now()
-		_, exact, err := synth.Synthesize(w.cg, w.lib, synthOpts(synth.Options{
+		_, exact, err := synth.SynthesizeContext(synthCtx("baseline"), w.cg, w.lib, synthOpts(synth.Options{
 			Merging: merging.Options{Policy: merging.MaxIndexRef},
 		}))
 		exactTime := time.Since(start)

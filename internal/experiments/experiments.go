@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/impl"
 	"repro/internal/merging"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/report"
 	"repro/internal/routing"
@@ -42,6 +44,24 @@ func SetWorkers(n int) { workers = n }
 // synthesis runs (0 = none). cmd/cdcs-bench exposes it as -timeout so
 // sweeps survive pathological instances.
 func SetTimeout(d time.Duration) { timeout = d }
+
+// sink is the observability sink every experiment synthesis run
+// reports into; nil (the default) disables observability.
+var sink *obs.Sink
+
+// SetSink installs an observability sink for all experiment synthesis
+// runs. cmd/cdcs-bench installs one to collect per-run counter deltas
+// for the CI benchmark-regression gate and to honor -trace/-metrics.
+func SetSink(s *obs.Sink) { sink = s }
+
+// synthCtx is the context every experiment synthesis run uses: the
+// package sink (when installed) plus a runtime/pprof label naming the
+// experiment, so a CPU profile of a bench run attributes samples per
+// experiment on top of the sink's per-phase labels.
+func synthCtx(name string) context.Context {
+	ctx := obs.NewContext(context.Background(), sink)
+	return obs.WithLabels(ctx, "experiment", name)
+}
 
 // synthOpts applies the package-wide worker and timeout settings to a
 // run's options.
@@ -223,7 +243,7 @@ func Candidates() Outcome {
 func Fig4() Outcome {
 	cg := workloads.WAN()
 	lib := workloads.WANLibrary()
-	ig, rep, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
+	ig, rep, err := synth.SynthesizeContext(synthCtx("fig4"), cg, lib, synthOpts(synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
 	}))
 	if err != nil {

@@ -19,7 +19,7 @@ import (
 func FlowValidation() Outcome {
 	cg := workloads.WAN()
 	lib := workloads.WANLibrary()
-	ig, _, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
+	ig, _, err := synth.SynthesizeContext(synthCtx("flowsim"), cg, lib, synthOpts(synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
 	}))
 	if err != nil {

@@ -30,7 +30,7 @@ func Scaling(sizes []int) Outcome {
 		opts := synthOpts(synth.Options{Merging: merging.Options{Policy: merging.MaxIndexRef}})
 
 		start := time.Now()
-		_, exact, err := synth.Synthesize(cg, lib, opts)
+		_, exact, err := synth.SynthesizeContext(synthCtx("scaling"), cg, lib, opts)
 		exactTime := time.Since(start)
 		if err != nil {
 			rows = append(rows, []string{fmt.Sprint(n), "error: " + err.Error(), "", "", "", "", ""})
@@ -39,7 +39,7 @@ func Scaling(sizes []int) Outcome {
 		greedyOpts := opts
 		greedyOpts.Solver = synth.GreedySolver
 		start = time.Now()
-		_, greedy, err := synth.Synthesize(cg, lib, greedyOpts)
+		_, greedy, err := synth.SynthesizeContext(synthCtx("scaling"), cg, lib, greedyOpts)
 		greedyTime := time.Since(start)
 		if err != nil {
 			rows = append(rows, []string{fmt.Sprint(n), "greedy error: " + err.Error(), "", "", "", "", ""})

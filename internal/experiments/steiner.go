@@ -22,7 +22,7 @@ import (
 // topology shares wires more aggressively than Definition 2.8 allows).
 func SteinerGap() Outcome {
 	cg, lib := workloads.NoC(), workloads.NoCLibrary()
-	_, rep, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
+	_, rep, err := synth.SynthesizeContext(synthCtx("steiner"), cg, lib, synthOpts(synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef, MaxK: 4},
 	}))
 	if err != nil {

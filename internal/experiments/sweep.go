@@ -34,7 +34,7 @@ func BandwidthSweep() Outcome {
 	sweep := []float64{1, 2, 3, 3.5, 3.8, 5, 8, 10, 15, 22}
 	for _, b := range sweep {
 		cg := wanWithBandwidth(b)
-		_, rep, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
+		_, rep, err := synth.SynthesizeContext(synthCtx("bwsweep"), cg, lib, synthOpts(synth.Options{
 			Merging: merging.Options{Policy: merging.MaxIndexRef},
 		}))
 		if err != nil {
@@ -117,7 +117,7 @@ func wanWithBandwidth(b float64) *model.ConstraintGraph {
 func LANCaseStudy() Outcome {
 	cg := workloads.LAN()
 	lib := workloads.LANLibrary()
-	_, rep, err := synth.Synthesize(cg, lib, synthOpts(synth.Options{
+	_, rep, err := synth.SynthesizeContext(synthCtx("lan"), cg, lib, synthOpts(synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
 	}))
 	if err != nil {

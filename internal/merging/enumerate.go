@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/library"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // ErrCandidateCap is wrapped in the error Enumerate returns when
@@ -74,6 +76,13 @@ type Result struct {
 	SetsTested int
 	// SetsPruned counts subsets rejected by the lemma/theorem tests.
 	SetsPruned int
+	// PrunedLemma31, PrunedLemma32 and PrunedTheorem32 break SetsPruned
+	// down by the rule that fired (Theorem 3.2's bandwidth test runs
+	// first, so a subset failing several tests is counted once, under
+	// the first). Theorem 3.1 removals are counted by EliminatedAt.
+	PrunedLemma31   int
+	PrunedLemma32   int
+	PrunedTheorem32 int
 	// Truncated is true when the MaxCandidates cap stopped enumeration
 	// under CapTruncate: ByK holds the first MaxCandidates candidates
 	// in enumeration order and higher levels were not explored.
@@ -149,6 +158,7 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 	if n == 0 {
 		return nil, fmt.Errorf("merging: constraint graph has no channels")
 	}
+	ctx, endSpan := obs.Trace(ctx, "merging/enumerate", obs.Int("channels", n))
 	gamma := Gamma(cg)
 	delta := Delta(cg)
 	bw := BandwidthVector(cg)
@@ -205,15 +215,18 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 			pruned := false
 			if !opt.DisableTheorem32 && NotMergeableBandwidth(bw, subset, lib) {
 				pruned = true
+				res.PrunedTheorem32++
 			}
 			if !pruned {
 				if k == 2 {
 					if !opt.DisableLemma31 && NotMergeablePair(gamma, delta, subset[0], subset[1]) {
 						pruned = true
+						res.PrunedLemma31++
 					}
 				} else {
 					if !opt.DisableLemma32 && NotMergeableSet(gamma, delta, subset, opt.Policy, dist) {
 						pruned = true
+						res.PrunedLemma32++
 					}
 				}
 			}
@@ -250,6 +263,7 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 			return true
 		})
 		if abort {
+			endSpan(obs.Bool("aborted", true), obs.Int("candidates", res.total))
 			return nil, fmt.Errorf("merging: %w: cap %d at k=%d", ErrCandidateCap, opt.MaxCandidates, k)
 		}
 		res.ByK[k] = sets
@@ -275,7 +289,44 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 			active = next
 		}
 	}
+	res.publishMetrics(ctx)
+	endSpan(
+		obs.Int("setsTested", res.SetsTested),
+		obs.Int("setsPruned", res.SetsPruned),
+		obs.Int("candidates", res.total),
+		obs.Bool("truncated", res.Truncated),
+		obs.Bool("interrupted", res.Interrupted),
+	)
 	return res, nil
+}
+
+// publishMetrics adds the enumeration's counters to the registry
+// carried by ctx (no-op without one). The counters are accumulated in
+// plain Result fields during the subset loop — the hot path never
+// touches an instrument — and published once here, so a disabled sink
+// costs nothing and an enabled one costs one batch of atomic adds.
+func (r *Result) publishMetrics(ctx context.Context) {
+	m := obs.FromContext(ctx).Metrics()
+	if m == nil {
+		return
+	}
+	m.Counter("merging/sets_tested").Add(int64(r.SetsTested))
+	m.Counter("merging/sets_pruned").Add(int64(r.SetsPruned))
+	m.Counter("merging/pruned_lemma31").Add(int64(r.PrunedLemma31))
+	m.Counter("merging/pruned_lemma32").Add(int64(r.PrunedLemma32))
+	m.Counter("merging/pruned_theorem32").Add(int64(r.PrunedTheorem32))
+	m.Counter("merging/theorem31_rows_deleted").Add(int64(len(r.EliminatedAt)))
+	m.Counter("merging/candidates").Add(int64(r.TotalCandidates()))
+	// Per-arity candidate counts; collect-then-sort keeps the counter
+	// creation order deterministic (snapshots sort by name anyway).
+	ks := make([]int, 0, len(r.ByK))
+	for k := range r.ByK {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		m.Counter(fmt.Sprintf("merging/candidates/k%d", k)).Add(int64(len(r.ByK[k])))
+	}
 }
 
 // forEachSubset invokes fn on every k-subset of items (in lexicographic

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a run's named counters, gauges and histograms.
+// Instruments are created on first use and live for the registry's
+// lifetime; handles are safe to share across goroutines (the pricing
+// worker pool hammers them under -race). A nil *Registry hands out nil
+// handles, which are themselves no-ops, so disabled metrics cost one
+// nil check per operation.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*CounterHandle
+	gauges   map[string]*GaugeHandle
+	hists    map[string]*HistogramHandle
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*CounterHandle),
+		gauges:   make(map[string]*GaugeHandle),
+		hists:    make(map[string]*HistogramHandle),
+	}
+}
+
+// CounterHandle is a monotonically increasing int64 instrument.
+type CounterHandle struct{ v atomic.Int64 }
+
+// Add increments the counter; no-op on a nil handle.
+func (c *CounterHandle) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *CounterHandle) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// GaugeHandle is a set-or-adjust int64 instrument (queue depths, pool
+// sizes).
+type GaugeHandle struct{ v atomic.Int64 }
+
+// Set stores the gauge value; no-op on a nil handle.
+func (g *GaugeHandle) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta; no-op on a nil handle.
+func (g *GaugeHandle) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current gauge value (0 on a nil handle).
+func (g *GaugeHandle) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistogramHandle is an int64-valued histogram with fixed upper
+// bounds. Values and sums are integers (arities, node counts,
+// microseconds) so concurrent recording stays order-independent —
+// float accumulation would make snapshots scheduling-dependent.
+type HistogramHandle struct {
+	bounds  []int64        // ascending upper bounds (inclusive)
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Record adds one observation; no-op on a nil handle.
+func (h *HistogramHandle) Record(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *CounterHandle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &CounterHandle{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *GaugeHandle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &GaugeHandle{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending upper bounds on first use (later calls reuse the first
+// creation's bounds).
+func (r *Registry) Histogram(name string, bounds ...int64) *HistogramHandle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &HistogramHandle{
+			bounds:  append([]int64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// NamedValue is one counter or gauge in a snapshot.
+type NamedValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Bucket is one histogram bucket in a snapshot: observations ≤ Le
+// (and above the previous bound).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Name string `json:"name"`
+	// Count and Sum summarize all observations.
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// Buckets are the bounded buckets; Overflow counts observations
+	// above the last bound.
+	Buckets  []Bucket `json:"buckets"`
+	Overflow int64    `json:"overflow"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, each section
+// sorted by name so the JSON form is deterministic.
+type Snapshot struct {
+	Counters   []NamedValue     `json:"counters"`
+	Gauges     []NamedValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot copies out every instrument. A nil registry snapshots
+// empty (never nil) sections, so the JSON shape is stable.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   []NamedValue{},
+		Gauges:     []NamedValue{},
+		Histograms: []HistogramValue{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters = append(snap.Counters, NamedValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		snap.Gauges = append(snap.Gauges, NamedValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{
+			Name:  name,
+			Count: h.count.Load(),
+			Sum:   h.sum.Load(),
+		}
+		for i, b := range h.bounds {
+			hv.Buckets = append(hv.Buckets, Bucket{Le: b, Count: h.buckets[i].Load()})
+		}
+		hv.Overflow = h.buckets[len(h.bounds)].Load()
+		snap.Histograms = append(snap.Histograms, hv)
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}
+
+// JSON renders the snapshot as indented JSON; deterministic because
+// every section is name-sorted and every value is an integer.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// CounterMap returns the snapshot's counters as a map, the form
+// cmd/cdcs-bench embeds per run and cmd/bench-diff compares.
+func (s Snapshot) CounterMap() map[string]int64 {
+	out := make(map[string]int64, len(s.Counters))
+	for _, c := range s.Counters {
+		out[c.Name] = c.Value
+	}
+	return out
+}

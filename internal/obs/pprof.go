@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// pushPprofLabel layers a phase=<name> pprof label onto ctx and
+// applies it to the calling goroutine, returning the labeled context
+// and a function restoring the caller's previous label set. CPU
+// profiles taken while the region runs then attribute samples to the
+// synthesis phase (and to any workload labels installed higher up
+// with WithLabels).
+func pushPprofLabel(ctx context.Context, name string) (context.Context, func()) {
+	// The pre-push context carries the previously active label set
+	// (pprof labels are immutable once attached), so restoring is just
+	// re-applying it.
+	prev := ctx
+	ctx = pprof.WithLabels(ctx, pprof.Labels("phase", name))
+	pprof.SetGoroutineLabels(ctx)
+	return ctx, func() {
+		pprof.SetGoroutineLabels(prev)
+	}
+}
+
+// WithLabels attaches arbitrary pprof labels (e.g. workload=wan) to
+// ctx and the calling goroutine, independent of any sink: callers use
+// it to tag a whole run before phases add their own phase labels.
+// kv must be an even-length key/value list; an odd trailing key is
+// dropped.
+func WithLabels(ctx context.Context, kv ...string) context.Context {
+	if len(kv)%2 == 1 {
+		kv = kv[:len(kv)-1]
+	}
+	if len(kv) == 0 {
+		return ctx
+	}
+	ctx = pprof.WithLabels(ctx, pprof.Labels(kv...))
+	pprof.SetGoroutineLabels(ctx)
+	return ctx
+}
+
+// ApplyGoroutineLabels applies ctx's pprof label set to the calling
+// goroutine. Worker goroutines receive a context derived inside a
+// span but run on their own goroutines, so the labels do not follow
+// automatically; each worker calls this once on start (a no-op when
+// no labels were ever attached).
+func ApplyGoroutineLabels(ctx context.Context) {
+	pprof.SetGoroutineLabels(ctx)
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are strings so
+// the exported JSON is trivially deterministic; use the typed
+// constructors for non-string values.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr {
+	return Attr{Key: key, Value: strconv.Itoa(value)}
+}
+
+// Int64 builds an int64 attribute.
+func Int64(key string, value int64) Attr {
+	return Attr{Key: key, Value: strconv.FormatInt(value, 10)}
+}
+
+// Float builds a float attribute, formatted with the shortest
+// round-trip representation (deterministic for a given value).
+func Float(key string, value float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(value, 'g', -1, 64)}
+}
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr {
+	return Attr{Key: key, Value: strconv.FormatBool(value)}
+}
+
+// Span is one timed region of a run. StartUs/DurUs are microseconds
+// relative to the tracer's first span. Children appear in start order;
+// when spans are started from a single goroutine (as the synthesis
+// phases are) that order is deterministic.
+type Span struct {
+	Name     string  `json:"name"`
+	StartUs  int64   `json:"startUs"`
+	DurUs    int64   `json:"durUs"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+
+	start time.Time
+}
+
+// Tracer records a forest of spans. All methods are safe for
+// concurrent use; every structural mutation happens under one mutex,
+// so workers may open spans under a shared parent (their completion
+// order, not their content, is then scheduling-dependent).
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	epoch time.Time
+	roots []*Span
+}
+
+// NewTracer returns an empty tracer using the given clock (nil means
+// time.Now).
+func NewTracer(now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now}
+}
+
+// start opens a span under parent (nil parent = new root).
+func (t *Tracer) start(parent *Span, name string, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.now()
+	if t.epoch.IsZero() {
+		t.epoch = ts
+	}
+	sp := &Span{
+		Name:    name,
+		StartUs: ts.Sub(t.epoch).Microseconds(),
+		Attrs:   append([]Attr(nil), attrs...),
+		start:   ts,
+	}
+	if parent == nil {
+		t.roots = append(t.roots, sp)
+	} else {
+		parent.Children = append(parent.Children, sp)
+	}
+	return sp
+}
+
+// end closes the span, appending any final attributes (the idiom for
+// attaching counters known only when the phase finishes).
+func (t *Tracer) end(sp *Span, attrs []Attr) {
+	if t == nil || sp == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp.DurUs = t.now().Sub(sp.start).Microseconds()
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// Roots returns a deep copy of the completed span forest.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.roots))
+	for i, sp := range t.roots {
+		out[i] = copySpan(sp)
+	}
+	return out
+}
+
+func copySpan(sp *Span) *Span {
+	c := &Span{
+		Name:    sp.Name,
+		StartUs: sp.StartUs,
+		DurUs:   sp.DurUs,
+		Attrs:   append([]Attr(nil), sp.Attrs...),
+	}
+	for _, child := range sp.Children {
+		c.Children = append(c.Children, copySpan(child))
+	}
+	return c
+}
+
+// JSON exports the span forest as indented JSON ({"spans": [...]}).
+// Byte-identical across runs when the tracer's clock is deterministic.
+func (t *Tracer) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Spans []*Span `json:"spans"`
+	}{Spans: t.Roots()}, "", "  ")
+}
+
+// ChromeTrace exports the span forest in the Chrome trace_event JSON
+// array format — loadable by chrome://tracing and Perfetto. Every span
+// becomes one complete ("ph":"X") event; attributes become args.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	var events []chromeEvent
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		args := make(map[string]string, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name, Phase: "X",
+			TsUs: sp.StartUs, DurUs: sp.DurUs,
+			PID: 1, TID: 1, Args: args,
+		})
+		for _, child := range sp.Children {
+			walk(child)
+		}
+	}
+	for _, root := range t.Roots() {
+		walk(root)
+	}
+	// Marshal each event with sorted args so the output is stable (the
+	// encoding/json map marshaling sorts keys, but we keep the array
+	// assembly explicit and deterministic regardless).
+	var buf bytes.Buffer
+	buf.WriteString("[\n")
+	for i, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return nil, fmt.Errorf("obs: encode trace event %q: %w", ev.Name, err)
+		}
+		buf.WriteString("  ")
+		buf.Write(data)
+		if i < len(events)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("]\n")
+	return buf.Bytes(), nil
+}
+
+// chromeEvent is one trace_event entry. encoding/json marshals the
+// Args map with sorted keys, keeping the bytes deterministic.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TsUs  int64             `json:"ts"`
+	DurUs int64             `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// FindSpans returns every span in the forest whose name equals name,
+// in depth-first start order (a test/report convenience).
+func (t *Tracer) FindSpans(name string) []*Span {
+	var out []*Span
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+		for _, child := range sp.Children {
+			walk(child)
+		}
+	}
+	for _, root := range t.Roots() {
+		walk(root)
+	}
+	return out
+}
+
+// Attr returns the value of the span attribute with the given key and
+// whether it is present (last write wins, matching end-attr appends).
+func (sp *Span) Attr(key string) (string, bool) {
+	for i := len(sp.Attrs) - 1; i >= 0; i-- {
+		if sp.Attrs[i].Key == key {
+			return sp.Attrs[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// Trace opens a span named name under the span currently carried by
+// ctx (or as a root), returning a derived context carrying the new
+// span and the function that closes it. When ctx carries no sink — or
+// the sink has tracing disabled — both returned values are cheap
+// no-ops, so call sites never branch.
+//
+// With Config.PprofLabels set, the region additionally runs under a
+// runtime/pprof label phase=<name>; the end function restores the
+// caller's labels. Worker goroutines that inherit the derived context
+// apply the same labels with ApplyGoroutineLabels.
+func Trace(ctx context.Context, name string, attrs ...Attr) (context.Context, func(...Attr)) {
+	s := FromContext(ctx)
+	if s == nil || (s.tracer == nil && !s.pprofLabels) {
+		return ctx, noopEnd
+	}
+	var sp *Span
+	if s.tracer != nil {
+		parent, _ := ctx.Value(ctxKeySpan{}).(*Span)
+		sp = s.tracer.start(parent, name, attrs)
+		ctx = context.WithValue(ctx, ctxKeySpan{}, sp)
+	}
+	restore := func() {}
+	if s.pprofLabels {
+		ctx, restore = pushPprofLabel(ctx, name)
+	}
+	tracer := s.tracer
+	return ctx, func(endAttrs ...Attr) {
+		tracer.end(sp, endAttrs)
+		restore()
+	}
+}
+
+// noopEnd is the shared do-nothing span closer, so the disabled path
+// allocates no closure.
+func noopEnd(...Attr) {}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/merging"
 	"repro/internal/model"
 	"repro/internal/num"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/place"
 	"repro/internal/ucp"
@@ -222,17 +223,30 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 	}
 	report := &Report{}
 
+	// The run span roots the trace; every phase span (and the spans the
+	// merging/ucp layers open through the derived contexts) nests under
+	// it. Without a sink on ctx this — like every obs call below — is a
+	// no-op costing one context lookup per phase.
+	ctx, endRun := obs.Trace(ctx, "synth/run",
+		obs.Int("channels", cg.NumChannels()), obs.Int("workers", opt.workers()))
+	defer func() {
+		endRun(obs.Float("cost", report.Cost),
+			obs.Float("p2pCost", report.P2PCost),
+			obs.Bool("degraded", report.Degradation.Degraded()))
+	}()
+
 	// phaseCtx nests an optional per-phase budget inside the overall
-	// deadline; noteBudget records — after the phase ran — whether the
-	// phase budget (rather than the overall deadline) was what expired.
-	phaseCtx := func(budget time.Duration) (context.Context, context.CancelFunc) {
+	// deadline (via the given parent); noteBudget records — after the
+	// phase ran — whether the phase budget (rather than the overall
+	// deadline) was what expired.
+	phaseCtx := func(parent context.Context, budget time.Duration) (context.Context, context.CancelFunc) {
 		if budget <= 0 {
-			return ctx, func() {}
+			return parent, func() {}
 		}
-		return context.WithTimeout(ctx, budget)
+		return context.WithTimeout(parent, budget)
 	}
-	noteBudget := func(name string, pctx context.Context) {
-		if pctx != ctx && pctx.Err() != nil && ctx.Err() == nil {
+	noteBudget := func(name string, pctx, parent context.Context) {
+		if pctx != parent && pctx.Err() != nil && ctx.Err() == nil {
 			report.Degradation.BudgetsExceeded = append(report.Degradation.BudgetsExceeded, name)
 		}
 	}
@@ -260,21 +274,26 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 	// degraded outcome falls back to, and they cost O(n·|L|).
 	phase := time.Now()
 	n := cg.NumChannels()
+	_, endPlan := obs.Trace(ctx, "p2p/plan", obs.Int("channels", n))
 	p2pPlans := make([]p2p.Plan, n)
 	for i := 0; i < n; i++ {
 		ch := model.ChannelID(i)
 		plan, err := planner.BestPlan(cg.Distance(ch), cg.Bandwidth(ch), opt.P2P)
 		if err != nil {
+			endPlan()
 			return nil, nil, fmt.Errorf("synth: channel %q: %w", cg.Channel(ch).Name, err)
 		}
 		p2pPlans[i] = plan
 		report.P2PCost += plan.Cost
 	}
+	endPlan(obs.Float("p2pCost", report.P2PCost))
 
 	// --- Step 1b: candidate mergings. ---
-	ectx, ecancel := phaseCtx(opt.Budgets.Enumerate)
+	// merging.EnumerateContext opens its own "merging/enumerate" span
+	// and publishes the per-lemma prune counters.
+	ectx, ecancel := phaseCtx(ctx, opt.Budgets.Enumerate)
 	enum, err := merging.EnumerateContext(ectx, cg, lib, opt.Merging)
-	noteBudget("enumerate", ectx)
+	noteBudget("enumerate", ectx, ctx)
 	ecancel()
 	if err != nil {
 		return nil, nil, err
@@ -295,13 +314,22 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 			Plan:     &plan,
 		})
 	}
-	pctx, pcancel := phaseCtx(opt.Budgets.Price)
+	priceCtx, endPrice := obs.Trace(ctx, "synth/price",
+		obs.Int("mergings", enum.TotalCandidates()))
+	pctx, pcancel := phaseCtx(priceCtx, opt.Budgets.Price)
 	err = priceCandidates(pctx, cg, lib, enum, p2pPlans, opt, report)
-	noteBudget("price", pctx)
+	noteBudget("price", pctx, priceCtx)
 	pcancel()
 	if err != nil {
+		endPrice()
 		return nil, nil, err
 	}
+	endPrice(
+		obs.Int("priced", report.PricedMergings),
+		obs.Int("infeasible", report.InfeasibleMergings),
+		obs.Int("dominated", report.DominatedMergings),
+		obs.Int("skipped", report.Degradation.PricingSkipped),
+	)
 	report.Timings.Price = time.Since(phase)
 
 	// --- Step 2: weighted unate covering. ---
@@ -320,6 +348,8 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 			return nil, nil, err
 		}
 	}
+	solveCtx, endSolve := obs.Trace(ctx, "synth/solve",
+		obs.Int("rows", n), obs.Int("cols", len(report.Candidates)))
 	var sol ucp.Solution
 	switch opt.Solver {
 	case GreedySolver:
@@ -328,15 +358,19 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 		// Independent blocks (channel groups sharing no candidate) are
 		// solved separately — exponentially cheaper, same optimum. On
 		// deadline the branch-and-bound returns its greedy-seeded best
-		// incumbent rather than erroring (anytime solving).
-		sctx, scancel := phaseCtx(opt.Budgets.Solve)
+		// incumbent rather than erroring (anytime solving). The ucp
+		// layer opens its own "ucp/solve" spans under solveCtx and
+		// publishes the node/prune/incumbent counters.
+		sctx, scancel := phaseCtx(solveCtx, opt.Budgets.Solve)
 		sol, err = m.SolveDecomposedContext(sctx)
-		noteBudget("solve", sctx)
+		noteBudget("solve", sctx, solveCtx)
 		scancel()
 	}
 	if err != nil {
+		endSolve()
 		return nil, nil, err
 	}
+	endSolve(obs.Int("nodes", sol.Stats.Nodes), obs.Bool("optimal", sol.Optimal))
 	report.UCPStats = sol.Stats
 	report.SolverOptimal = sol.Optimal
 	if sol.Interrupted {
@@ -352,14 +386,40 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 
 	// --- Materialize the selected candidates. ---
 	phase = time.Now()
+	_, endMat := obs.Trace(ctx, "synth/materialize",
+		obs.Int("selected", len(sol.Columns)))
 	ig, err := materialize(cg, lib, report)
 	if err != nil {
+		endMat()
 		return nil, nil, err
 	}
+	endMat()
 	report.Timings.Materialize = time.Since(phase)
 	report.PlanCache = planner.Stats()
 	report.Elapsed = time.Since(start)
+	publishRun(ctx, report)
 	return ig, report, nil
+}
+
+// publishRun adds the run's summary counters — including the memoized
+// planner's cache statistics, which only settle once every phase has
+// run — to the registry carried by ctx (no-op without one). Cache
+// hit/miss totals are scheduling-dependent under parallel pricing (two
+// workers can both miss the same key), so cmd/bench-diff ignores the
+// p2p/cache/ counters by default.
+func publishRun(ctx context.Context, r *Report) {
+	m := obs.FromContext(ctx).Metrics()
+	if m == nil {
+		return
+	}
+	m.Counter("synth/runs").Add(1)
+	m.Counter("synth/candidates").Add(int64(len(r.Candidates)))
+	m.Counter("synth/priced_mergings").Add(int64(r.PricedMergings))
+	m.Counter("synth/infeasible_mergings").Add(int64(r.InfeasibleMergings))
+	m.Counter("synth/dominated_mergings").Add(int64(r.DominatedMergings))
+	m.Counter("p2p/cache/hits").Add(r.PlanCache.Hits)
+	m.Counter("p2p/cache/misses").Add(r.PlanCache.Misses)
+	m.Gauge("synth/price/workers").Set(int64(r.Workers))
 }
 
 // testPricingHook, when non-nil, is invoked with each candidate set
@@ -423,6 +483,35 @@ func priceCandidates(
 		done bool
 	}
 	results := make([]priced, len(sets))
+
+	// Worker-pool instruments, fetched once and shared by every worker
+	// (handles are atomic and nil-safe, so the disabled path costs one
+	// nil check per pricing). queue_depth counts not-yet-priced
+	// mergings: it starts at the backlog size, ends at zero on a full
+	// run, and on deadline is left at exactly the skipped count.
+	sink := obs.FromContext(ctx)
+	met := sink.Metrics()
+	now := sink.Clock()
+	pricings := met.Counter("synth/price/pricings")
+	arityHist := met.Histogram("synth/price/arity", 2, 3, 4, 6, 8, 12, 16)
+	durHist := met.Histogram("synth/price/duration_us", 100, 1_000, 10_000, 100_000, 1_000_000)
+	queueDepth := met.Gauge("synth/price/queue_depth")
+	queueDepth.Set(int64(len(sets)))
+	priceSet := func(i int) {
+		var t0 time.Time
+		if durHist != nil {
+			t0 = now()
+		}
+		cand, err := priceOne(cg, lib, sets[i], opt.Place)
+		if durHist != nil {
+			durHist.Record(now().Sub(t0).Microseconds())
+		}
+		results[i] = priced{cand: cand, err: err, done: true}
+		pricings.Add(1)
+		arityHist.Record(int64(len(sets[i])))
+		queueDepth.Add(-1)
+	}
+
 	done := ctx.Done()
 	canceled := func() bool {
 		if done == nil {
@@ -440,12 +529,11 @@ func priceCandidates(
 		workers = len(sets)
 	}
 	if workers <= 1 {
-		for i, set := range sets {
+		for i := range sets {
 			if canceled() {
 				break
 			}
-			cand, err := priceOne(cg, lib, set, opt.Place)
-			results[i] = priced{cand: cand, err: err, done: true}
+			priceSet(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -454,9 +542,13 @@ func priceCandidates(
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Workers run on their own goroutines, so ctx's pprof
+				// label set (phase=synth/price, plus any workload
+				// labels) must be applied explicitly for CPU profiles
+				// to attribute their samples.
+				obs.ApplyGoroutineLabels(ctx)
 				for i := range jobs {
-					cand, err := priceOne(cg, lib, sets[i], opt.Place)
-					results[i] = priced{cand: cand, err: err, done: true}
+					priceSet(i)
 				}
 			}()
 		}

@@ -3,6 +3,8 @@ package ucp
 import (
 	"context"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Covering instances from the synthesis flow often decompose: channels
@@ -84,6 +86,11 @@ func (m *Matrix) SolveDecomposedContext(ctx context.Context) (Solution, error) {
 	if len(blocks) <= 1 {
 		return m.SolveContext(ctx)
 	}
+	// Each block's SolveContext opens its own child span and publishes
+	// its own counters; this span only frames them and records the
+	// decomposition width.
+	ctx, endSpan := obs.Trace(ctx, "ucp/solve-decomposed",
+		obs.Int("rows", m.numRows), obs.Int("cols", len(m.cols)), obs.Int("blocks", len(blocks)))
 	var out Solution
 	out.Optimal = true
 	for _, b := range blocks {
@@ -119,7 +126,9 @@ func (m *Matrix) SolveDecomposedContext(ctx context.Context) (Solution, error) {
 		out.Stats.Prunes += sol.Stats.Prunes
 		out.Stats.Reductions += sol.Stats.Reductions
 		out.Stats.Infeasible += sol.Stats.Infeasible
+		out.Stats.Incumbents += sol.Stats.Incumbents
 	}
 	sort.Ints(out.Columns)
+	endSpan(obs.Int("nodes", out.Stats.Nodes), obs.Bool("interrupted", out.Interrupted))
 	return out, nil
 }

@@ -140,6 +140,10 @@ type Stats struct {
 	// Infeasible is the number of subproblems abandoned because some
 	// row lost its last covering column (previously dropped silently).
 	Infeasible int
+	// Incumbents is the number of times the branch-and-bound improved
+	// its incumbent solution (the greedy seed does not count; a solve
+	// whose seed is already optimal reports zero).
+	Incumbents int
 }
 
 // CostOf returns the summed weight of a column set.

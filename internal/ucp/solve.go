@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/num"
+	"repro/internal/obs"
 )
 
 // cancelCheckInterval is how many branch-and-bound nodes are explored
@@ -33,6 +34,8 @@ func (m *Matrix) SolveContext(ctx context.Context) (Solution, error) {
 	if !m.Feasible() {
 		return Solution{}, ErrInfeasible
 	}
+	ctx, endSpan := obs.Trace(ctx, "ucp/solve",
+		obs.Int("rows", m.numRows), obs.Int("cols", len(m.cols)))
 	s := &bbState{
 		m:        m,
 		bestCost: math.Inf(1),
@@ -77,7 +80,32 @@ func (m *Matrix) SolveContext(ctx context.Context) (Solution, error) {
 	} else {
 		sol.LowerBound = math.Min(rootBound, sol.Cost)
 	}
+	publishSolve(ctx, sol.Stats)
+	endSpan(
+		obs.Int("nodes", sol.Stats.Nodes),
+		obs.Int("prunes", sol.Stats.Prunes),
+		obs.Int("reductions", sol.Stats.Reductions),
+		obs.Int("incumbents", sol.Stats.Incumbents),
+		obs.Bool("interrupted", sol.Interrupted),
+	)
 	return sol, nil
+}
+
+// publishSolve adds one solve's counters to the registry carried by
+// ctx (no-op without one). The branch-and-bound accumulates its Stats
+// in plain struct fields — the search loop never touches an
+// instrument — and the totals are published here in one batch.
+func publishSolve(ctx context.Context, st Stats) {
+	m := obs.FromContext(ctx).Metrics()
+	if m == nil {
+		return
+	}
+	m.Counter("ucp/solves").Add(1)
+	m.Counter("ucp/nodes").Add(int64(st.Nodes))
+	m.Counter("ucp/prunes").Add(int64(st.Prunes))
+	m.Counter("ucp/reductions").Add(int64(st.Reductions))
+	m.Counter("ucp/infeasible_subproblems").Add(int64(st.Infeasible))
+	m.Counter("ucp/incumbents").Add(int64(st.Incumbents))
 }
 
 type bbState struct {
@@ -149,6 +177,7 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 		if cost < s.bestCost {
 			s.bestCost = cost
 			s.bestCols = append([]int(nil), chosen...)
+			s.stats.Incumbents++
 		}
 		return
 	}
