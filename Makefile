@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 VETTOOL := $(CURDIR)/$(BIN)/cdcsvet
 
-.PHONY: all build test race vet lint tools bench-gate bench-seed trace-example clean
+.PHONY: all build test race vet lint tools bench-gate bench-seed trace-example serve-smoke clean
 
 all: build test
 
@@ -40,6 +40,12 @@ bench-gate:
 # (commit the new BENCH_seed.json together with the change).
 bench-seed:
 	$(GO) run ./cmd/cdcs-bench -short -json BENCH_seed.json
+
+# End-to-end smoke test of the cdcsd serving daemon: start it, submit
+# the wan example, assert SSE incumbent events and Prometheus-format
+# /metrics, and shut it down gracefully. See scripts/serve-smoke.sh.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # Produce an example Chrome trace of the WAN synthesis — open
 # $(BIN)/wan-trace.json in chrome://tracing or ui.perfetto.dev.

@@ -200,6 +200,17 @@ type Options struct {
 	// Tracer()/Metrics() accessors. Nil (the default) disables
 	// observability at negligible cost. See docs/OBSERVABILITY.md.
 	Observer *Observer
+	// Progress, when non-nil, receives the run's live progress events
+	// — phase starts/ends, per-arity enumeration levels, and every
+	// branch-and-bound incumbent improvement with its cost, lower
+	// bound and gap — while the run is still in flight, so a long
+	// anytime solve is observable before its deadline fires. The
+	// callback runs on a dedicated goroutine (never on the solver's
+	// hot path) over a bounded drop-oldest queue: a slow callback lags
+	// but cannot stall or deadlock the run. Every event is delivered
+	// before Synthesize returns. See docs/OBSERVABILITY.md for the
+	// event schema.
+	Progress func(Event)
 }
 
 // Observability.
@@ -215,6 +226,10 @@ type (
 	// MetricsSnapshot is a deterministic point-in-time copy of an
 	// Observer's metrics.
 	MetricsSnapshot = obs.Snapshot
+	// Event is one progress notification from a running synthesis —
+	// the value Options.Progress receives; see the obs.Event* type
+	// constants for the schema.
+	Event = obs.Event
 )
 
 // NewObserver builds an Observer with the collectors cfg enables.
@@ -251,8 +266,37 @@ func SynthesizeContext(ctx context.Context, cg *ConstraintGraph, lib *Library, o
 		o.Solver = synth.GreedySolver
 	}
 	o.KeepDominated = opt.KeepDominated
-	if opt.Observer != nil {
-		ctx = obs.NewContext(ctx, opt.Observer)
+	sink := opt.Observer
+	if opt.Progress != nil {
+		// Progress rides the sink's event stream: reuse the caller's
+		// Observer (retrofitting a stream if it lacks one) or build a
+		// private events-only sink. The drain goroutine decouples the
+		// callback from the solver's hot path; the deferred cancel
+		// closes the tail and waits, so every event published during
+		// the run is delivered before this function returns.
+		if sink == nil {
+			sink = obs.New(obs.Config{Events: true})
+		} else {
+			sink.InitEvents()
+		}
+		replay, live, cancel := sink.Events().Subscribe(0)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for _, ev := range replay {
+				opt.Progress(ev)
+			}
+			for ev := range live {
+				opt.Progress(ev)
+			}
+		}()
+		defer func() {
+			cancel()
+			<-done
+		}()
+	}
+	if sink != nil {
+		ctx = obs.NewContext(ctx, sink)
 	}
 	return synth.SynthesizeContext(ctx, cg, lib, o)
 }

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/benchfmt"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -33,7 +34,12 @@ func main() {
 	timeTol := flag.Float64("time-tolerance", 0.30, "allowed fractional wall-time regression per run")
 	absSlack := flag.Float64("abs-slack-ms", 50, "absolute grace in ms added to every time limit (negative disables)")
 	ignore := flag.String("ignore", "p2p/cache/", "comma-separated counter-name prefixes excluded from exact match")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String("bench-diff"))
+		return
+	}
 	if *runPath == "" {
 		fmt.Fprintln(os.Stderr, "bench-diff: -run is required")
 		flag.Usage()

@@ -25,15 +25,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -45,7 +48,15 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable baseline (per-experiment pass/fail, wall time, algorithm counters) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every synthesis phase to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot after the run")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String("cdcs-bench"))
+		return
+	}
+	// Human-readable status goes to stderr so stdout stays clean for
+	// the experiment tables and the -metrics JSON snapshot.
+	status := serve.NewLogger(os.Stderr, slog.LevelInfo, false)
 	experiments.SetWorkers(*workers)
 	experiments.SetTimeout(*timeout)
 
@@ -153,7 +164,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cdcs-bench: write baseline:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("baseline written to %s\n", *jsonPath)
+		status.Info("baseline written", "path", *jsonPath)
 	}
 	if *tracePath != "" {
 		data, err := sink.Tracer().ChromeTrace()
@@ -165,7 +176,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cdcs-bench: write trace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+		status.Info("trace written", "path", *tracePath, "viewer", "chrome://tracing or ui.perfetto.dev")
 	}
 	if *metrics {
 		data, err := sink.Metrics().Snapshot().JSON()

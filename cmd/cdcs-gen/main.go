@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/model"
 	"repro/internal/soc"
 	"repro/internal/workloads"
@@ -27,7 +28,13 @@ func main() {
 	modules := flag.Int("modules", 8, "SoC module count")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "instance", "output file prefix")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.String("cdcs-gen"))
+		return
+	}
 
 	var cg *model.ConstraintGraph
 	var lib json.Marshaler

@@ -9,6 +9,8 @@
 //	cdcs -example wan -timeout 100ms                        # deadline-bounded run
 //	cdcs -example wan -trace t.json -metrics                # observability on
 //	cdcs -example wan -report rep.json                      # machine-readable outcome
+//	cdcs -example wan -progress                             # NDJSON progress events on stdout
+//	cdcs -version                                           # print version and exit
 //
 // With -timeout the run has anytime semantics: on deadline the flow
 // degrades to the best feasible architecture found so far (verified,
@@ -42,11 +44,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/buildinfo"
 	"repro/internal/flowsim"
 	"repro/internal/impl"
 	"repro/internal/library"
@@ -55,10 +59,17 @@ import (
 	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/viz"
 	"repro/internal/workloads"
 )
+
+// status is the CLI's structured logger. Human-readable status lines
+// go to stderr through it so stdout stays clean for machine output
+// (the report tables, -metrics JSON, -progress NDJSON) and piping
+// stdout into jq or a file never picks up stray prose.
+var status *slog.Logger
 
 func main() {
 	graphPath := flag.String("graph", "", "constraint graph JSON file")
@@ -74,7 +85,15 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis phases to this file")
 	metrics := flag.Bool("metrics", false, "print the algorithm-counter snapshot after the run")
 	reportPath := flag.String("report", "", "write a machine-readable JSON run summary (cost, optimality, degradation) to this file")
+	progress := flag.Bool("progress", false, "stream synthesis progress events (phase boundaries, enumeration levels, incumbents) as NDJSON on stdout")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.String("cdcs"))
+		return
+	}
+	status = serve.NewLogger(os.Stderr, slog.LevelInfo, false)
 
 	cg, lib, err := loadInputs(*graphPath, *libPath, *example)
 	if err != nil {
@@ -86,11 +105,32 @@ func main() {
 	// pprof label naming the workload either way (visible in profiles
 	// taken with -http style wrappers or external pprof attach).
 	var sink *obs.Sink
-	if *tracePath != "" || *metrics {
-		sink = obs.New(obs.Config{Tracing: *tracePath != "", Metrics: *metrics, PprofLabels: true})
+	if *tracePath != "" || *metrics || *progress {
+		sink = obs.New(obs.Config{Tracing: *tracePath != "", Metrics: *metrics, Events: *progress, PprofLabels: true})
 	}
 	ctx := obs.NewContext(context.Background(), sink)
 	ctx = obs.WithLabels(ctx, "workload", workloadName(*graphPath, *example))
+
+	// -progress: a dedicated goroutine drains the event stream to
+	// stdout as NDJSON while the run publishes into it; waitProgress
+	// flushes everything published so far before the report prints, so
+	// event lines never interleave with the report tables.
+	waitProgress := func() {}
+	if *progress {
+		replay, live, cancelSub := sink.Events().Subscribe(0)
+		done := make(chan struct{})
+		enc := json.NewEncoder(os.Stdout)
+		go func() {
+			defer close(done)
+			for _, ev := range replay {
+				_ = enc.Encode(ev)
+			}
+			for ev := range live {
+				_ = enc.Encode(ev)
+			}
+		}()
+		waitProgress = func() { cancelSub(); <-done }
+	}
 
 	opts := synth.Options{
 		Merging: merging.Options{Policy: merging.MaxIndexRef},
@@ -116,6 +156,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cdcs: unknown solver %q\n", *solver)
 		os.Exit(2)
 	}
+	waitProgress()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdcs:", err)
 		os.Exit(1)
@@ -196,7 +237,7 @@ func writeRunReport(path, solver string, cg *model.ConstraintGraph, rep *synth.R
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write report: %w", err)
 	}
-	fmt.Printf("report written to %s\n", path)
+	status.Info("report written", "path", path)
 	return nil
 }
 
@@ -210,7 +251,7 @@ func writeObsOutputs(sink *obs.Sink, tracePath string, metrics bool) error {
 		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
 			return fmt.Errorf("write trace: %w", err)
 		}
-		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+		status.Info("trace written", "path", tracePath, "viewer", "chrome://tracing or ui.perfetto.dev")
 	}
 	if metrics {
 		data, err := sink.Metrics().Snapshot().JSON()
@@ -251,14 +292,14 @@ func writeOutputs(ig *impl.Graph, dotPath, svgPath, jsonPath string) error {
 		if err := os.WriteFile(dotPath, []byte(ig.Dot()), 0o644); err != nil {
 			return fmt.Errorf("write DOT: %w", err)
 		}
-		fmt.Printf("\nDOT written to %s\n", dotPath)
+		status.Info("DOT written", "path", dotPath)
 	}
 	if svgPath != "" {
 		svg := viz.Implementation(ig, viz.Options{ShowLabels: true})
 		if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
 			return fmt.Errorf("write SVG: %w", err)
 		}
-		fmt.Printf("SVG written to %s\n", svgPath)
+		status.Info("SVG written", "path", svgPath)
 	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(ig, "", "  ")
@@ -268,7 +309,7 @@ func writeOutputs(ig *impl.Graph, dotPath, svgPath, jsonPath string) error {
 		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
 			return fmt.Errorf("write JSON: %w", err)
 		}
-		fmt.Printf("JSON written to %s\n", jsonPath)
+		status.Info("JSON written", "path", jsonPath)
 	}
 	return nil
 }

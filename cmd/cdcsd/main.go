@@ -1,0 +1,121 @@
+// cdcsd is the constraint-driven communication synthesis daemon: it
+// serves synthesis as bounded concurrent HTTP jobs with a live
+// observability plane — per-job progress events over SSE, accumulated
+// algorithm counters in Prometheus text format on /metrics, health
+// probes, structured JSON logs, and optional /debug/pprof.
+//
+// Usage:
+//
+//	cdcsd [-addr :8080] [-max-jobs 2] [-retain 64] [-event-buffer 1024]
+//	      [-pprof] [-log-level info] [-version]
+//
+// A job walkthrough:
+//
+//	curl -s -X POST localhost:8080/v1/synthesize -d '{"example":"wan"}'
+//	curl -s localhost:8080/v1/jobs/j-000001
+//	curl -sN localhost:8080/v1/jobs/j-000001/events     # SSE replay + tail
+//	curl -s localhost:8080/metrics | grep ucp_incumbents_total
+//
+// Shutdown (SIGINT/SIGTERM) drains gracefully: new submissions get
+// 503, in-flight jobs are canceled cooperatively and finish with their
+// best incumbent as an explicitly degraded result, then the listener
+// closes. See docs/OBSERVABILITY.md for the endpoint and event
+// reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxJobs := flag.Int("max-jobs", 2, "synthesis jobs running concurrently (excess submissions queue)")
+	retain := flag.Int("retain", 64, "jobs retained in memory (finished jobs evicted oldest-first)")
+	eventBuffer := flag.Int("event-buffer", 1024, "per-job progress-event replay ring size")
+	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof (CPU, heap, goroutine profiles)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight jobs to return their degraded results")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.String("cdcsd"))
+		return
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "cdcsd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	log := serve.NewLogger(os.Stderr, level, true)
+
+	version := buildinfo.Version()
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *maxJobs,
+		MaxJobs:       *retain,
+		EventBuffer:   *eventBuffer,
+		EnablePprof:   *enablePprof,
+		Logger:        log,
+		Version:       version,
+	})
+
+	// Listen before logging "ready" so /readyz can only succeed once
+	// connections are actually being accepted.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "error", err.Error())
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	log.Info("cdcsd starting",
+		"version", version,
+		"addr", ln.Addr().String(),
+		"max_jobs", *maxJobs,
+		"retain", *retain,
+		"pprof", *enablePprof,
+	)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Error("serve failed", "error", err.Error())
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: mark unready and cancel in-flight jobs first —
+	// they return their incumbents as degraded results and their SSE
+	// streams close — then shut the HTTP layer down.
+	log.Info("shutdown signal received")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Warn("drain incomplete", "error", err.Error())
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "error", err.Error())
+	}
+	log.Info("cdcsd stopped")
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/load"
@@ -39,6 +40,11 @@ func main() {
 		case a == "-V=full" || a == "--V=full" || a == "-V":
 			// cmd/go hashes this line into its build cache key.
 			fmt.Printf("cdcsvet version %s\n", version)
+			return
+		case a == "-version" || a == "--version":
+			// Human-facing (unlike -V, which is for cmd/go's cache):
+			// reports the build like every other cdcs binary.
+			fmt.Println(buildinfo.String("cdcsvet"))
 			return
 		case a == "-flags" || a == "--flags":
 			// cmd/go asks which analyzer flags the tool accepts; none.

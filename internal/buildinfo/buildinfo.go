@@ -1,0 +1,56 @@
+// Package buildinfo derives a human-readable version string for the
+// cmd/* binaries from the build metadata the Go toolchain embeds
+// (runtime/debug.ReadBuildInfo) — module version when built as a
+// versioned module, VCS revision and dirty flag when built from a
+// checkout — so every binary answers -version without a linker-flag
+// release pipeline, and cdcsd can report what it is running in its
+// startup log and /healthz body.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the best available version identifier: the module
+// version when it is a real semver, otherwise "devel+<rev12>" from the
+// embedded VCS stamp ("-dirty" appended for modified checkouts), or
+// "unknown" when the binary carries no build metadata (e.g. built from
+// a non-module, non-VCS directory).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		return "devel+" + rev + "-dirty"
+	}
+	return "devel+" + rev
+}
+
+// String formats the one-line -version output for the named binary:
+// name, version, toolchain, and platform.
+func String(name string) string {
+	return fmt.Sprintf("%s %s %s %s/%s",
+		name, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

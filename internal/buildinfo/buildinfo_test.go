@@ -1,0 +1,25 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+}
+
+func TestStringCarriesNameVersionPlatform(t *testing.T) {
+	s := String("cdcsd")
+	if !strings.HasPrefix(s, "cdcsd ") {
+		t.Fatalf("String() = %q, want the binary name first", s)
+	}
+	for _, want := range []string{Version(), "go", "/"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

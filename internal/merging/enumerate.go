@@ -159,6 +159,7 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 		return nil, fmt.Errorf("merging: constraint graph has no channels")
 	}
 	ctx, endSpan := obs.Trace(ctx, "merging/enumerate", obs.Int("channels", n))
+	events := obs.EventsFromContext(ctx)
 	gamma := Gamma(cg)
 	delta := Delta(cg)
 	bw := BandwidthVector(cg)
@@ -267,6 +268,18 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 			return nil, fmt.Errorf("merging: %w: cap %d at k=%d", ErrCandidateCap, opt.MaxCandidates, k)
 		}
 		res.ByK[k] = sets
+		if events != nil {
+			// Per-arity progress: one event per completed level, so a
+			// watcher sees the combinatorial frontier advance instead of
+			// a silent Step 1b. Published outside the subset loop — a
+			// disabled stream costs one nil comparison per level.
+			events.Publish(obs.Event{
+				Type:       obs.EventEnumLevel,
+				K:          k,
+				Candidates: len(sets),
+				SetsTested: res.SetsTested,
+			})
+		}
 		if res.Truncated || res.Interrupted {
 			// The partial level is kept: every accepted set passed the
 			// prunes, so pricing it can only improve the architecture.

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect receives until ch closes or n events arrived.
+func collect(t *testing.T, ch <-chan Event, n int) []Event {
+	t.Helper()
+	var out []Event
+	timeout := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		case <-timeout:
+			t.Fatalf("timed out after %d of %d events", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestEventsPublishStampsContiguousSeq(t *testing.T) {
+	e := NewEvents(16, nil)
+	for i := 0; i < 5; i++ {
+		e.Publish(Event{Type: EventEnumLevel, K: i})
+	}
+	hist := e.History()
+	if len(hist) != 5 {
+		t.Fatalf("history len = %d, want 5", len(hist))
+	}
+	for i, ev := range hist {
+		if ev.Seq != int64(i+1) {
+			t.Errorf("hist[%d].Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+}
+
+func TestEventsReplayThenTailIsGapFree(t *testing.T) {
+	e := NewEvents(64, nil)
+	for i := 0; i < 10; i++ {
+		e.Publish(Event{Type: EventEnumLevel})
+	}
+	replay, live, cancel := e.Subscribe(64)
+	defer cancel()
+	if len(replay) != 10 {
+		t.Fatalf("replay len = %d, want 10", len(replay))
+	}
+	for i := 0; i < 10; i++ {
+		e.Publish(Event{Type: EventIncumbent})
+	}
+	tail := collect(t, live, 10)
+	all := append(replay, tail...)
+	for i, ev := range all {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has Seq %d, want %d (gap or duplicate across replay/tail boundary)", i, ev.Seq, i+1)
+		}
+	}
+}
+
+func TestEventsRingDropsOldest(t *testing.T) {
+	e := NewEvents(4, nil)
+	for i := 0; i < 10; i++ {
+		e.Publish(Event{Type: EventEnumLevel, K: i})
+	}
+	hist := e.History()
+	if len(hist) != 4 {
+		t.Fatalf("history len = %d, want 4", len(hist))
+	}
+	for i, ev := range hist {
+		if want := int64(7 + i); ev.Seq != want {
+			t.Errorf("hist[%d].Seq = %d, want %d (oldest must be dropped first)", i, ev.Seq, want)
+		}
+	}
+	if e.Dropped() < 6 {
+		t.Errorf("Dropped() = %d, want >= 6", e.Dropped())
+	}
+}
+
+func TestEventsSlowSubscriberNeverBlocksPublisher(t *testing.T) {
+	e := NewEvents(64, nil)
+	_, live, cancel := e.Subscribe(2)
+	defer cancel()
+	// Publish far more than the queue holds without draining; Publish
+	// must return (drop-oldest) rather than block the solver.
+	for i := 0; i < 20; i++ {
+		e.Publish(Event{Type: EventIncumbent})
+	}
+	// The queue retains the newest events.
+	got := collect(t, live, 2)
+	if got[len(got)-1].Seq != 20 {
+		t.Errorf("last queued Seq = %d, want 20 (queue keeps newest)", got[len(got)-1].Seq)
+	}
+}
+
+func TestEventsNilReceiverIsInert(t *testing.T) {
+	var e *Events
+	e.Publish(Event{Type: EventIncumbent}) // must not panic
+	if h := e.History(); h != nil {
+		t.Errorf("nil History() = %v, want nil", h)
+	}
+	if d := e.Dropped(); d != 0 {
+		t.Errorf("nil Dropped() = %d, want 0", d)
+	}
+	replay, live, cancel := e.Subscribe(1)
+	if len(replay) != 0 {
+		t.Errorf("nil Subscribe replay = %v, want empty", replay)
+	}
+	if _, ok := <-live; ok {
+		t.Error("nil Subscribe live channel must come back closed")
+	}
+	cancel()
+	e.Close()
+}
+
+func TestEventsClose(t *testing.T) {
+	e := NewEvents(16, nil)
+	e.Publish(Event{Type: EventRunStart})
+	_, live, cancel := e.Subscribe(4)
+	defer cancel()
+	e.Publish(Event{Type: EventRunEnd})
+	e.Close()
+	e.Close() // idempotent
+	// Queued events drain, then the channel reports closed.
+	got := collect(t, live, 2)
+	if len(got) != 1 || got[0].Type != EventRunEnd {
+		t.Fatalf("drained %v, want the one queued run_end", got)
+	}
+	// Publishing after Close is dropped.
+	e.Publish(Event{Type: EventIncumbent})
+	if len(e.History()) != 2 {
+		t.Errorf("history after post-close publish = %d events, want 2", len(e.History()))
+	}
+	// Late subscribers still get the retained history and a closed tail.
+	replay, live2, cancel2 := e.Subscribe(1)
+	defer cancel2()
+	if len(replay) != 2 {
+		t.Errorf("post-close replay len = %d, want 2", len(replay))
+	}
+	if _, ok := <-live2; ok {
+		t.Error("post-close live channel must come back closed")
+	}
+}
+
+func TestEventsCancelIsIdempotentAndStopsDelivery(t *testing.T) {
+	e := NewEvents(16, nil)
+	_, live, cancel := e.Subscribe(4)
+	cancel()
+	cancel() // second cancel must not panic or double-close
+	if _, ok := <-live; ok {
+		t.Error("canceled subscription channel must be closed")
+	}
+	e.Publish(Event{Type: EventIncumbent}) // no subscriber left; must not panic
+}
+
+func TestEventsConcurrentPublishSubscribe(t *testing.T) {
+	e := NewEvents(1024, nil)
+	const publishers, each = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				e.Publish(Event{Type: EventIncumbent})
+			}
+		}()
+	}
+	// Subscribe mid-stream; replay+tail must still be gap-free.
+	replay, live, cancel := e.Subscribe(1024)
+	wg.Wait()
+	e.Close()
+	var tail []Event
+	for ev := range live {
+		tail = append(tail, ev)
+	}
+	cancel()
+	all := append(replay, tail...)
+	if len(all) == 0 {
+		t.Fatal("no events delivered")
+	}
+	want := all[0].Seq
+	for i, ev := range all {
+		if ev.Seq != want+int64(i) {
+			t.Fatalf("event %d has Seq %d, want %d (replay/tail must be contiguous)", i, ev.Seq, want+int64(i))
+		}
+	}
+	if last := all[len(all)-1].Seq; last != publishers*each {
+		t.Errorf("last Seq = %d, want %d", last, publishers*each)
+	}
+}
+
+func TestEventsDeterministicTimestamps(t *testing.T) {
+	tick := time.Unix(0, 0)
+	now := func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}
+	e := NewEvents(8, now)
+	e.Publish(Event{Type: EventRunStart})
+	e.Publish(Event{Type: EventRunEnd})
+	hist := e.History()
+	if hist[0].TimeUs != 0 || hist[1].TimeUs != 1000 {
+		t.Errorf("TimeUs = %d, %d; want 0, 1000 (relative to first event)", hist[0].TimeUs, hist[1].TimeUs)
+	}
+}

@@ -35,6 +35,23 @@ type Config struct {
 	Tracing bool
 	// Metrics enables the counter/gauge/histogram registry.
 	Metrics bool
+	// Registry, when non-nil, is used as the metrics registry instead
+	// of creating a fresh one (implies Metrics). The serving daemon
+	// shares one registry across every job so /metrics is a single
+	// accumulated scrape target.
+	Registry *Registry
+	// Events enables the progress event stream (phase boundaries,
+	// enumeration levels, incumbent improvements) with a bounded
+	// drop-oldest replay ring.
+	Events bool
+	// EventBuffer sizes the event replay ring; zero means
+	// DefaultEventBuffer. Only meaningful with Events set.
+	EventBuffer int
+	// EventStream, when non-nil, is used as the event stream instead
+	// of creating a fresh one (implies Events). The serving daemon
+	// hands each job's pre-created stream to the run's sink so SSE
+	// subscribers attached before the run started miss nothing.
+	EventStream *Events
 	// PprofLabels propagates a "phase" runtime/pprof label with every
 	// span, so CPU profiles taken during a run attribute samples to
 	// synthesis phases. Meaningful only while profiling; cheap always.
@@ -49,20 +66,31 @@ type Config struct {
 type Sink struct {
 	tracer      *Tracer
 	metrics     *Registry
+	events      *Events
+	eventBuffer int
 	pprofLabels bool
 	now         func() time.Time
 }
 
 // New returns a Sink with the collectors cfg enables. A Config with
-// neither Tracing nor Metrics yields a Sink that only propagates pprof
-// labels (or nothing at all).
+// neither Tracing, Metrics nor Events yields a Sink that only
+// propagates pprof labels (or nothing at all).
 func New(cfg Config) *Sink {
-	s := &Sink{pprofLabels: cfg.PprofLabels, now: cfg.Now}
+	s := &Sink{pprofLabels: cfg.PprofLabels, now: cfg.Now, eventBuffer: cfg.EventBuffer}
 	if cfg.Tracing {
 		s.tracer = NewTracer(cfg.Now)
 	}
-	if cfg.Metrics {
+	switch {
+	case cfg.Registry != nil:
+		s.metrics = cfg.Registry
+	case cfg.Metrics:
 		s.metrics = NewRegistry()
+	}
+	switch {
+	case cfg.EventStream != nil:
+		s.events = cfg.EventStream
+	case cfg.Events:
+		s.events = NewEvents(cfg.EventBuffer, cfg.Now)
 	}
 	return s
 }
@@ -99,6 +127,26 @@ func (s *Sink) Metrics() *Registry {
 	return s.metrics
 }
 
+// Events returns the sink's progress event stream, nil when events are
+// disabled (a nil *Events is itself a no-op receiver).
+func (s *Sink) Events() *Events {
+	if s == nil {
+		return nil
+	}
+	return s.events
+}
+
+// InitEvents retrofits an event stream onto a sink built without one
+// (the facade calls it when Options.Progress is set on a caller-built
+// Observer); a stream already present is kept. Call before the run —
+// it is not synchronized against concurrent publishers. No-op on nil.
+func (s *Sink) InitEvents() {
+	if s == nil || s.events != nil {
+		return
+	}
+	s.events = NewEvents(s.eventBuffer, s.now)
+}
+
 // ctxKey* are private context key types so no other package can
 // collide with the sink/span values.
 type ctxKeySink struct{}
@@ -129,4 +177,11 @@ func Counter(ctx context.Context, name string) *CounterHandle {
 // Gauge is shorthand for FromContext(ctx).Metrics().Gauge(name).
 func Gauge(ctx context.Context, name string) *GaugeHandle {
 	return FromContext(ctx).Metrics().Gauge(name)
+}
+
+// EventsFromContext is shorthand for FromContext(ctx).Events(): the
+// stream handle a phase fetches once and then publishes to freely (nil
+// — a no-op publisher — when events are disabled).
+func EventsFromContext(ctx context.Context) *Events {
+	return FromContext(ctx).Events()
 }

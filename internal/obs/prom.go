@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format, version 0.0.4 — the format a Prometheus server scrapes from
+// GET /metrics. Metric names are sanitized (every character outside
+// [a-zA-Z0-9_:] becomes '_', so "ucp/incumbents" exposes as
+// "ucp_incumbents"), counters get the conventional "_total" suffix,
+// and histograms render cumulative "_bucket" series with an explicit
+// le="+Inf" bucket plus "_sum" and "_count". The output is
+// deterministic: sections and series follow the snapshot's name-sorted
+// order and every value is an integer.
+func (s Snapshot) Prometheus() []byte {
+	var buf bytes.Buffer
+	for _, c := range s.Counters {
+		name := PromName(c.Name)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		fmt.Fprintf(&buf, "# HELP %s Synthesis counter %s.\n", name, c.Name)
+		fmt.Fprintf(&buf, "# TYPE %s counter\n", name)
+		fmt.Fprintf(&buf, "%s %d\n", name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := PromName(g.Name)
+		fmt.Fprintf(&buf, "# HELP %s Synthesis gauge %s.\n", name, g.Name)
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(&buf, "%s %d\n", name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		name := PromName(h.Name)
+		fmt.Fprintf(&buf, "# HELP %s Synthesis histogram %s.\n", name, h.Name)
+		fmt.Fprintf(&buf, "# TYPE %s histogram\n", name)
+		// Prometheus buckets are cumulative; the registry's are
+		// disjoint, so accumulate while emitting.
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(&buf, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+		}
+		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&buf, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(&buf, "%s_count %d\n", name, h.Count)
+	}
+	return buf.Bytes()
+}
+
+// PromName sanitizes a registry metric name ("merging/candidates/k2")
+// into a valid Prometheus metric name ("merging_candidates_k2"): every
+// character outside [a-zA-Z0-9_:] maps to '_', and a leading digit
+// gains a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !valid {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ucp/incumbents", "ucp_incumbents"},
+		{"merging/candidates/k2", "merging_candidates_k2"},
+		{"serve/job_duration_ms", "serve_job_duration_ms"},
+		{"9lives", "_9lives"},
+		{"a:b", "a:b"},
+		{"weird name-here", "weird_name_here"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.in); got != c.want {
+			t.Errorf("PromName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ucp/incumbents").Add(3)
+	r.Counter("already_total").Add(1)
+	r.Gauge("serve/jobs_inflight").Set(2)
+	h := r.Histogram("serve/job_duration_ms", 1, 10, 100)
+	h.Record(0)   // bucket le=1
+	h.Record(5)   // bucket le=10
+	h.Record(7)   // bucket le=10
+	h.Record(500) // overflow
+
+	out := string(r.Snapshot().Prometheus())
+
+	for _, want := range []string{
+		"# TYPE ucp_incumbents_total counter\n",
+		"ucp_incumbents_total 3\n",
+		// No double suffix on a name already ending in _total.
+		"# TYPE already_total counter\n",
+		"already_total 1\n",
+		"# TYPE serve_jobs_inflight gauge\n",
+		"serve_jobs_inflight 2\n",
+		"# TYPE serve_job_duration_ms histogram\n",
+		// Buckets are cumulative, not disjoint.
+		"serve_job_duration_ms_bucket{le=\"1\"} 1\n",
+		"serve_job_duration_ms_bucket{le=\"10\"} 3\n",
+		"serve_job_duration_ms_bucket{le=\"100\"} 3\n",
+		"serve_job_duration_ms_bucket{le=\"+Inf\"} 4\n",
+		"serve_job_duration_ms_sum 512\n",
+		"serve_job_duration_ms_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "already_total_total") {
+		t.Error("counter name already ending in _total must not get a second suffix")
+	}
+}
+
+// TestPrometheusFormatValid asserts every emitted line is either a
+// well-formed comment or a well-formed sample line of the text
+// exposition format 0.0.4.
+func TestPrometheusFormatValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("merging/candidates/k2").Add(13)
+	r.Gauge("synth/price/queue_depth").Set(0)
+	r.Histogram("synth/price/arity", 2, 4, 8).Record(3)
+
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="(\+Inf|\d+)"\})? -?\d+$`)
+	comment := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	for _, line := range strings.Split(strings.TrimRight(string(r.Snapshot().Prometheus()), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !comment.MatchString(line) {
+				t.Errorf("malformed comment line %q", line)
+			}
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestPrometheusEmptySnapshot(t *testing.T) {
+	var r *Registry
+	if out := r.Snapshot().Prometheus(); len(out) != 0 {
+		t.Errorf("nil registry rendered %q, want empty", out)
+	}
+}

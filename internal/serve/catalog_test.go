@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMetricCatalogMatchesDocs cross-checks the metric names the code
+// registers against the catalog in docs/OBSERVABILITY.md, in both
+// directions: an undocumented metric and a documented-but-gone metric
+// both fail. It drives one server through a successful wan job, a
+// failing job and a rejected submission so every serve/* counter is
+// genuinely registered by its real code path, then snapshots the
+// shared registry (which a full exact run populates with every
+// algorithm counter).
+func TestMetricCatalogMatchesDocs(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxJobs: 1})
+
+	// Success path: registers all merging/synth/ucp/p2p counters plus
+	// the serve submission/completion/duration instruments.
+	j, code := submit(t, ts, `{"example":"wan","options":{"workers":1}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	// Rejection path (table of one unfinished job): serve/jobs_rejected.
+	for try := 0; try < 20; try++ {
+		if _, code = submit(t, ts, `{"example":"wan"}`); code == http.StatusTooManyRequests {
+			break
+		}
+		waitJob(t, ts, j.ID)
+		if j, code = submit(t, ts, `{"example":"wan","options":{"workers":1}}`); code != http.StatusAccepted {
+			t.Fatalf("refill submit status = %d", code)
+		}
+	}
+	if code != http.StatusTooManyRequests {
+		t.Fatal("could not exercise the rejection path")
+	}
+	waitJob(t, ts, j.ID)
+	// Failure path: serve/jobs_failed.
+	fj, code := submit(t, ts, fmt.Sprintf(`{"graph":%s,"library":%s}`, infeasibleGraph, infeasibleLibrary))
+	if code != http.StatusAccepted {
+		t.Fatalf("failing submit status = %d", code)
+	}
+	waitJob(t, ts, fj.ID)
+
+	registered := make(map[string]bool)
+	snap := srv.Registry().Snapshot()
+	perArity := regexp.MustCompile(`/k\d+$`)
+	for _, c := range snap.Counters {
+		registered[perArity.ReplaceAllString(c.Name, "/k<k>")] = true
+	}
+	for _, g := range snap.Gauges {
+		registered[g.Name] = true
+	}
+	for _, h := range snap.Histograms {
+		registered[h.Name] = true
+	}
+
+	documented := docMetricNames(t)
+
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %q is registered in code but missing from the docs/OBSERVABILITY.md catalog", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("metric %q is documented in docs/OBSERVABILITY.md but never registered by this full serve scenario — stale docs or dead metric", name)
+		}
+	}
+}
+
+// docMetricNames extracts every metric name from the "## Metric
+// catalog" section of docs/OBSERVABILITY.md: backticked tokens that
+// look like registry names (lowercase path with a '/'), excluding
+// prefix mentions like `p2p/cache/`.
+func docMetricNames(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs: %v", err)
+	}
+	text := string(data)
+	start := strings.Index(text, "## Metric catalog")
+	if start < 0 {
+		t.Fatal("docs/OBSERVABILITY.md has no \"## Metric catalog\" section")
+	}
+	section := text[start:]
+	// The catalog ends at the next same-level heading.
+	if end := strings.Index(section[2:], "\n## "); end >= 0 {
+		section = section[:end+2]
+	}
+	nameRe := regexp.MustCompile("`([a-z0-9_]+(?:/[a-z0-9_<>]+)+)`")
+	out := make(map[string]bool)
+	for _, m := range nameRe.FindAllStringSubmatch(section, -1) {
+		out[m[1]] = true
+	}
+	if len(out) == 0 {
+		t.Fatal("no metric names parsed from the catalog section")
+	}
+	return out
+}

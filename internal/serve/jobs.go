@@ -1,0 +1,482 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/cdcs"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// SynthesizeRequest is the POST /v1/synthesize body. Either Example
+// names a built-in instance ("wan", "mpeg4") or Graph and Library
+// carry the JSON forms the cdcs CLI consumes.
+type SynthesizeRequest struct {
+	Example string          `json:"example,omitempty"`
+	Graph   json.RawMessage `json:"graph,omitempty"`
+	Library json.RawMessage `json:"library,omitempty"`
+	// Workload labels the job in logs and listings; defaults to
+	// Example or "graph".
+	Workload string `json:"workload,omitempty"`
+	// ReturnGraph includes the synthesized implementation graph JSON
+	// in the job result (off by default: results are retained in
+	// memory).
+	ReturnGraph bool           `json:"returnGraph,omitempty"`
+	Options     RequestOptions `json:"options"`
+}
+
+// RequestOptions mirrors the cdcs.Options knobs that make sense per
+// request.
+type RequestOptions struct {
+	Greedy             bool  `json:"greedy,omitempty"`
+	StrictPruning      bool  `json:"strictPruning,omitempty"`
+	KeepDominated      bool  `json:"keepDominated,omitempty"`
+	MaxMergeArity      int   `json:"maxMergeArity,omitempty"`
+	MaxCandidates      int   `json:"maxCandidates,omitempty"`
+	TruncateCandidates bool  `json:"truncateCandidates,omitempty"`
+	Workers            int   `json:"workers,omitempty"`
+	TimeoutMs          int64 `json:"timeoutMs,omitempty"`
+}
+
+// Result is the machine-readable outcome of a finished job — the same
+// fields the cdcs CLI's -report emits, so scripts assert one schema
+// everywhere.
+type Result struct {
+	Channels    int             `json:"channels"`
+	Cost        float64         `json:"cost"`
+	P2PCost     float64         `json:"p2pCost"`
+	SavingsPct  float64         `json:"savingsPercent"`
+	Optimal     bool            `json:"optimal"`
+	Degraded    bool            `json:"degraded"`
+	Degradation []string        `json:"degradation"`
+	GapBound    float64         `json:"gapBound"`
+	Incumbents  int             `json:"incumbents"`
+	ElapsedMs   float64         `json:"elapsedMs"`
+	Graph       json.RawMessage `json:"graph,omitempty"`
+}
+
+// Job is one submitted synthesis. State transitions queued → running →
+// done|failed; Events carries its live progress stream and survives
+// completion for SSE replay.
+type Job struct {
+	ID       string
+	Workload string
+
+	mu       sync.Mutex
+	state    string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *Result
+	errMsg   string
+
+	events *obs.Events
+	done   chan struct{}
+
+	req SynthesizeRequest
+	cg  *cdcs.ConstraintGraph
+	lib *cdcs.Library
+}
+
+// jobJSON is the GET /v1/jobs/{id} shape.
+type jobJSON struct {
+	ID       string  `json:"id"`
+	Workload string  `json:"workload"`
+	State    string  `json:"state"`
+	Created  string  `json:"created"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+	Links    links   `json:"links"`
+}
+
+type links struct {
+	Self   string `json:"self"`
+	Events string `json:"events"`
+}
+
+func (j *Job) json() jobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobJSON{
+		ID:       j.ID,
+		Workload: j.Workload,
+		State:    j.state,
+		Created:  j.created.UTC().Format(time.RFC3339Nano),
+		Error:    j.errMsg,
+		Result:   j.result,
+		Links: links{
+			Self:   "/v1/jobs/" + j.ID,
+			Events: "/v1/jobs/" + j.ID + "/events",
+		},
+	}
+}
+
+func (j *Job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	switch state {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed:
+		j.finished = time.Now()
+	}
+}
+
+// State returns the job's current state string.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// decodeInstance resolves the request into a constraint graph and
+// library, either from a built-in example or from the embedded JSON.
+func decodeInstance(req *SynthesizeRequest) (*cdcs.ConstraintGraph, *cdcs.Library, string, error) {
+	switch req.Example {
+	case "wan":
+		return workloads.WAN(), workloads.WANLibrary(), "wan", nil
+	case "mpeg4":
+		return workloads.MPEG4(), workloads.MPEG4Technology().Library(), "mpeg4", nil
+	case "":
+	default:
+		return nil, nil, "", fmt.Errorf("unknown example %q (wan, mpeg4)", req.Example)
+	}
+	if len(req.Graph) == 0 || len(req.Library) == 0 {
+		return nil, nil, "", errors.New("need graph and library, or example")
+	}
+	cg, err := cdcs.DecodeConstraintGraph(req.Graph)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	lib, err := cdcs.DecodeLibrary(req.Library)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return cg, lib, "graph", nil
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req SynthesizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	cg, lib, workload, err := decodeInstance(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Workload != "" {
+		workload = req.Workload
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !s.evictLocked() {
+		s.mu.Unlock()
+		s.reg.Counter("serve/jobs_rejected").Add(1)
+		httpError(w, http.StatusTooManyRequests,
+			"job table full (%d jobs, none finished)", s.cfg.MaxJobs)
+		return
+	}
+	s.nextID++
+	j := &Job{
+		ID:       fmt.Sprintf("j-%06d", s.nextID),
+		Workload: workload,
+		state:    StateQueued,
+		created:  time.Now(),
+		events:   obs.NewEvents(s.cfg.EventBuffer, nil),
+		done:     make(chan struct{}),
+		req:      req,
+		cg:       cg,
+		lib:      lib,
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.reg.Counter("serve/jobs_submitted").Add(1)
+	s.log.Info("job submitted",
+		"job_id", j.ID, "workload", j.Workload, "queue_cap", s.cfg.MaxConcurrent)
+	go s.runJob(j)
+	writeJSON(w, http.StatusAccepted, j.json())
+}
+
+// evictLocked makes room for one more job, dropping finished jobs
+// oldest-first. It reports whether the table has room.
+func (s *Server) evictLocked() bool {
+	if len(s.jobs) < s.cfg.MaxJobs {
+		return true
+	}
+	for i, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		st := j.State()
+		if st == StateDone || st == StateFailed {
+			delete(s.jobs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// runJob owns a job goroutine: wait for a concurrency slot, run the
+// synthesis with a per-job sink (shared metrics registry, private
+// event stream), record the outcome, close the stream so SSE tails
+// end.
+func (s *Server) runJob(j *Job) {
+	defer s.wg.Done()
+	defer close(j.done)
+	defer j.events.Close()
+
+	log := s.log.With("job_id", j.ID, "workload", j.Workload)
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-s.runCtx.Done():
+		j.mu.Lock()
+		j.errMsg = "server shut down before the job started"
+		j.mu.Unlock()
+		j.setState(StateFailed)
+		s.reg.Counter("serve/jobs_failed").Add(1)
+		log.Warn("job aborted", "reason", "drain before start")
+		return
+	}
+
+	j.setState(StateRunning)
+	inflight := s.reg.Gauge("serve/jobs_inflight")
+	inflight.Add(1)
+	defer inflight.Add(-1)
+	log.Info("job started", "channels", j.cg.NumChannels())
+
+	// The job's sink: counters land in the server-wide registry (the
+	// /metrics scrape target), events go straight into the job's own
+	// stream — created at submission time, so SSE subscribers attached
+	// while the job was still queued miss nothing. The run context is
+	// the server's: Drain cancels it and the flow degrades to its
+	// incumbent instead of dying.
+	sink := obs.New(obs.Config{
+		Registry:    s.reg,
+		EventStream: j.events,
+	})
+	ro := j.req.Options
+	opt := cdcs.Options{
+		Greedy:             ro.Greedy,
+		StrictPruning:      ro.StrictPruning,
+		KeepDominated:      ro.KeepDominated,
+		MaxMergeArity:      ro.MaxMergeArity,
+		MaxCandidates:      ro.MaxCandidates,
+		TruncateCandidates: ro.TruncateCandidates,
+		Workers:            ro.Workers,
+		Observer:           sink,
+	}
+	if ro.TimeoutMs > 0 {
+		opt.Timeout = time.Duration(ro.TimeoutMs) * time.Millisecond
+	}
+
+	start := time.Now()
+	ig, rep, err := cdcs.SynthesizeContext(s.runCtx, j.cg, j.lib, opt)
+	s.reg.Histogram("serve/job_duration_ms", 1, 10, 100, 1_000, 10_000).
+		Record(time.Since(start).Milliseconds())
+	if err != nil {
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		j.setState(StateFailed)
+		s.reg.Counter("serve/jobs_failed").Add(1)
+		log.Error("job failed", "error", err.Error())
+		return
+	}
+
+	res := &Result{
+		Channels:    j.cg.NumChannels(),
+		Cost:        rep.Cost,
+		P2PCost:     rep.P2PCost,
+		SavingsPct:  rep.SavingsPercent(),
+		Optimal:     rep.ResultOptimal(),
+		Degraded:    rep.Degradation.Degraded(),
+		Degradation: rep.Degradation.Summary(),
+		GapBound:    rep.Degradation.GapBound,
+		Incumbents:  rep.UCPStats.Incumbents,
+		ElapsedMs:   float64(rep.Elapsed.Microseconds()) / 1000,
+	}
+	if res.Degradation == nil {
+		res.Degradation = []string{}
+	}
+	if j.req.ReturnGraph {
+		if data, merr := json.Marshal(ig); merr == nil {
+			res.Graph = data
+		}
+	}
+	j.mu.Lock()
+	j.result = res
+	j.mu.Unlock()
+	j.setState(StateDone)
+	s.reg.Counter("serve/jobs_completed").Add(1)
+	log.Info("job done",
+		"cost", res.Cost,
+		"optimal", res.Optimal,
+		"degraded", res.Degraded,
+		"elapsed_ms", res.ElapsedMs,
+	)
+}
+
+func (s *Server) getJob(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.json())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]jobJSON, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			out = append(out, j.json())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleJobEvents streams the job's progress as Server-Sent Events:
+// first the bounded retained history (replay), then the live tail —
+// Subscribe snapshots both under one lock, so the sequence numbers the
+// client sees are contiguous. The stream ends when the job finishes
+// (its event stream closes) or the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := j.events.Subscribe(0)
+	defer cancel()
+	write := func(ev obs.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range replay {
+		if !write(ev) {
+			return
+		}
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				// Job finished: emit a terminal comment so curl users
+				// see a clean end-of-stream marker.
+				fmt.Fprintf(w, ": stream closed (job %s)\n\n", j.State())
+				flusher.Flush()
+				return
+			}
+			if !write(ev) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.reg.Snapshot().Prometheus())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	version := s.cfg.Version
+	if version == "" {
+		version = "unknown"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"version": version,
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}

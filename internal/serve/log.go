@@ -1,0 +1,21 @@
+package serve
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger the daemon and the CLIs
+// share: JSON (one object per line — key order is deterministic:
+// time, level, msg, then the attrs in emission order, which the log
+// tests pin down) or logfmt-style text for interactive terminals.
+// Human-readable status always goes through a logger to stderr;
+// stdout is reserved for machine output (reports, metrics snapshots,
+// NDJSON progress).
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

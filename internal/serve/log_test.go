@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// jsonKeys returns the top-level keys of one JSON object in their
+// textual order of appearance.
+func jsonKeys(t *testing.T, line []byte) []string {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(line))
+	tok, err := dec.Token()
+	if err != nil || tok != json.Delim('{') {
+		t.Fatalf("log line is not a JSON object: %s", line)
+	}
+	var keys []string
+	depth := 0
+	expectKey := true
+	for dec.More() || depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch v := tok.(type) {
+		case json.Delim:
+			if v == '{' || v == '[' {
+				depth++
+			} else {
+				depth--
+			}
+			expectKey = depth == 0
+		default:
+			if depth == 0 {
+				if expectKey {
+					keys = append(keys, v.(string))
+					expectKey = false
+				} else {
+					expectKey = true
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// TestJSONLoggerKeyOrderDeterministic pins the daemon log line shape:
+// time, level, msg first, then the attrs in exactly the order the call
+// site emitted them — the order log-processing pipelines key on.
+func TestJSONLoggerKeyOrderDeterministic(t *testing.T) {
+	want := []string{"time", "level", "msg", "job_id", "workload", "cost", "optimal"}
+	for run := 0; run < 3; run++ {
+		var buf bytes.Buffer
+		log := NewLogger(&buf, slog.LevelInfo, true)
+		log.Info("job done", "job_id", "j-000001", "workload", "wan", "cost", 464.55, "optimal", true)
+		keys := jsonKeys(t, buf.Bytes())
+		if strings.Join(keys, ",") != strings.Join(want, ",") {
+			t.Fatalf("run %d: key order %v, want %v", run, keys, want)
+		}
+	}
+}
+
+func TestJSONLoggerWithGroupAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo, true).With("job_id", "j-000002")
+	log.Info("job started", "channels", 8)
+	keys := jsonKeys(t, buf.Bytes())
+	want := []string{"time", "level", "msg", "job_id", "channels"}
+	if strings.Join(keys, ",") != strings.Join(want, ",") {
+		t.Fatalf("key order %v, want %v", keys, want)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn, true)
+	log.Info("hidden")
+	log.Warn("shown")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 1 || !strings.Contains(buf.String(), "shown") {
+		t.Fatalf("want exactly the warn line, got: %s", buf.String())
+	}
+}
+
+func TestTextLoggerForTerminals(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo, false)
+	log.Info("trace written", "path", "t.json")
+	line := buf.String()
+	if json.Valid([]byte(strings.TrimSpace(line))) {
+		t.Fatalf("text format must not be JSON: %s", line)
+	}
+	if m, _ := regexp.MatchString(`msg="trace written" path=t\.json`, line); !m {
+		t.Fatalf("unexpected text line: %s", line)
+	}
+}

@@ -1,0 +1,199 @@
+// Package serve is the cdcsd serving layer: a zero-dependency net/http
+// front end that runs constraint-driven synthesis as bounded
+// concurrent jobs and exposes the live observability plane —
+// per-job progress events over SSE (replay of the bounded history,
+// then the live tail), the shared metrics registry in Prometheus text
+// exposition format 0.0.4 on GET /metrics, health/readiness probes,
+// and optional /debug/pprof.
+//
+// Endpoints:
+//
+//	POST /v1/synthesize        submit a job (JSON graph+library or a
+//	                           built-in example); 202 + job id
+//	GET  /v1/jobs              list jobs, oldest first
+//	GET  /v1/jobs/{id}         job state + result
+//	GET  /v1/jobs/{id}/events  SSE: replayed history, then live tail
+//	GET  /metrics              Prometheus text format 0.0.4
+//	GET  /healthz              liveness + version
+//	GET  /readyz               readiness (503 while draining)
+//	/debug/pprof/...           only with Config.EnablePprof
+//
+// Every job shares one obs.Registry, so /metrics accumulates the
+// algorithm counters (ucp_incumbents_total, merging_sets_tested_total,
+// …) across the daemon's lifetime; each job carries its own bounded
+// obs.Events stream, so SSE subscribers see exactly that job's
+// progress. Shutdown reuses the synthesis layer's cooperative
+// cancellation: Drain cancels the run context and every in-flight job
+// returns its best incumbent as an explicitly degraded result instead
+// of being killed.
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config tunes the server. The zero value serves with the defaults
+// noted on each field.
+type Config struct {
+	// MaxConcurrent bounds how many synthesis jobs run at once;
+	// submissions beyond it queue. <=0 means 2.
+	MaxConcurrent int
+	// MaxJobs bounds how many jobs are retained in memory (running
+	// jobs included; finished jobs are evicted oldest-first to make
+	// room). A submission that cannot evict is rejected with 429.
+	// <=0 means 64.
+	MaxJobs int
+	// EventBuffer sizes each job's event replay ring; <=0 means
+	// obs.DefaultEventBuffer.
+	EventBuffer int
+	// EnablePprof mounts net/http/pprof under /debug/pprof.
+	EnablePprof bool
+	// Logger receives the server's structured logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// Version is reported in /healthz and the startup log.
+	Version string
+}
+
+// Server is the cdcsd HTTP front end. Build with New, mount Handler,
+// and call Drain on shutdown.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	// runCtx parents every job; Drain cancels it so in-flight
+	// synthesis degrades to its incumbent and returns promptly.
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup
+	// sem bounds concurrent synthesis: one slot per running job,
+	// acquired by the job goroutine, so excess submissions queue.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for listing and eviction
+	nextID   int
+	draining bool
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 64
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		log:       cfg.Logger,
+		reg:       obs.NewRegistry(),
+		mux:       http.NewServeMux(),
+		runCtx:    ctx,
+		cancelRun: cancel,
+		jobs:      make(map[string]*Job),
+	}
+	s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	s.routes()
+	return s
+}
+
+// Registry returns the server-wide metrics registry every job
+// publishes into — the /metrics scrape target.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the server's root handler with request logging and
+// request counting applied.
+func (s *Server) Handler() http.Handler {
+	return s.logRequests(s.mux)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// Drain stops accepting jobs, cancels the run context — every
+// in-flight synthesis hits its next cooperative checkpoint and returns
+// its incumbent as a degraded result — and waits for job goroutines to
+// finish or ctx to expire. Call before http.Server.Shutdown so SSE
+// streams end (job completion closes their event streams) and the
+// HTTP drain does not deadlock on them.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.log.Info("draining", "reason", "shutdown")
+	s.cancelRun()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the logging middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.reg.Counter("serve/http_requests").Add(1)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", time.Since(start).Milliseconds(),
+		)
+	})
+}

@@ -205,7 +205,7 @@ func Synthesize(cg *model.ConstraintGraph, lib *library.Library, opt Options) (*
 // completed so far (at worst the all-point-to-point implementation,
 // which is always feasible), and Report.Degradation records what was
 // cut together with an optimality-gap bound.
-func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *library.Library, opt Options) (*impl.Graph, *Report, error) {
+func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *library.Library, opt Options) (_ *impl.Graph, _ *Report, err error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, fmt.Errorf("%w: %w", ErrCanceled, err)
@@ -222,6 +222,29 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 		return nil, nil, err
 	}
 	report := &Report{}
+
+	// Progress events stream to live watchers (CLI -progress, cdcsd SSE
+	// subscribers) while the run is in flight. The handle is fetched
+	// once per run; without a stream it is nil and every publish below
+	// is a nil-receiver no-op.
+	events := obs.EventsFromContext(ctx)
+	events.Publish(obs.Event{
+		Type:     obs.EventRunStart,
+		Channels: cg.NumChannels(),
+		Workers:  opt.workers(),
+	})
+	defer func() {
+		if err != nil {
+			events.Publish(obs.Event{Type: obs.EventRunError, Err: err.Error()})
+			return
+		}
+		events.Publish(obs.Event{
+			Type:     obs.EventRunEnd,
+			Cost:     report.Cost,
+			Optimal:  report.ResultOptimal(),
+			Degraded: report.Degradation.Degraded(),
+		})
+	}()
 
 	// The run span roots the trace; every phase span (and the spans the
 	// merging/ucp layers open through the derived contexts) nests under
@@ -274,6 +297,7 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 	// degraded outcome falls back to, and they cost O(n·|L|).
 	phase := time.Now()
 	n := cg.NumChannels()
+	events.Publish(obs.Event{Type: obs.EventPhaseStart, Phase: "plan"})
 	_, endPlan := obs.Trace(ctx, "p2p/plan", obs.Int("channels", n))
 	p2pPlans := make([]p2p.Plan, n)
 	for i := 0; i < n; i++ {
@@ -287,10 +311,13 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 		report.P2PCost += plan.Cost
 	}
 	endPlan(obs.Float("p2pCost", report.P2PCost))
+	events.Publish(obs.Event{Type: obs.EventPhaseEnd, Phase: "plan", Channels: n})
 
 	// --- Step 1b: candidate mergings. ---
 	// merging.EnumerateContext opens its own "merging/enumerate" span
-	// and publishes the per-lemma prune counters.
+	// and publishes the per-lemma prune counters plus one EventEnumLevel
+	// per completed arity.
+	events.Publish(obs.Event{Type: obs.EventPhaseStart, Phase: "enumerate"})
 	ectx, ecancel := phaseCtx(ctx, opt.Budgets.Enumerate)
 	enum, err := merging.EnumerateContext(ectx, cg, lib, opt.Merging)
 	noteBudget("enumerate", ectx, ctx)
@@ -302,9 +329,14 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 	report.Degradation.EnumerationTruncated = enum.Truncated
 	report.Degradation.EnumerationInterrupted = enum.Interrupted
 	report.Timings.Enumerate = time.Since(phase)
+	events.Publish(obs.Event{
+		Type: obs.EventPhaseEnd, Phase: "enumerate",
+		Candidates: enum.TotalCandidates(), SetsTested: enum.SetsTested,
+	})
 
 	// --- Step 1c: price every candidate. ---
 	phase = time.Now()
+	events.Publish(obs.Event{Type: obs.EventPhaseStart, Phase: "price", Candidates: enum.TotalCandidates()})
 	for i := 0; i < n; i++ {
 		plan := p2pPlans[i]
 		report.Candidates = append(report.Candidates, Candidate{
@@ -331,9 +363,14 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 		obs.Int("skipped", report.Degradation.PricingSkipped),
 	)
 	report.Timings.Price = time.Since(phase)
+	events.Publish(obs.Event{
+		Type: obs.EventPhaseEnd, Phase: "price",
+		Candidates: len(report.Candidates),
+	})
 
 	// --- Step 2: weighted unate covering. ---
 	phase = time.Now()
+	events.Publish(obs.Event{Type: obs.EventPhaseStart, Phase: "solve"})
 	m := ucp.NewMatrix(n)
 	for idx, c := range report.Candidates {
 		rows := make([]int, len(c.Channels))
@@ -383,9 +420,14 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 		report.Candidates[j].Selected = true
 	}
 	report.Timings.Solve = time.Since(phase)
+	events.Publish(obs.Event{
+		Type: obs.EventPhaseEnd, Phase: "solve",
+		Cost: sol.Cost, Nodes: sol.Stats.Nodes, Optimal: sol.Optimal,
+	})
 
 	// --- Materialize the selected candidates. ---
 	phase = time.Now()
+	events.Publish(obs.Event{Type: obs.EventPhaseStart, Phase: "materialize"})
 	_, endMat := obs.Trace(ctx, "synth/materialize",
 		obs.Int("selected", len(sol.Columns)))
 	ig, err := materialize(cg, lib, report)
@@ -395,6 +437,7 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 	}
 	endMat()
 	report.Timings.Materialize = time.Since(phase)
+	events.Publish(obs.Event{Type: obs.EventPhaseEnd, Phase: "materialize"})
 	report.PlanCache = planner.Stats()
 	report.Elapsed = time.Since(start)
 	publishRun(ctx, report)

@@ -1,0 +1,91 @@
+#!/usr/bin/env sh
+# End-to-end smoke test of the cdcsd serving daemon: build it, start
+# it on a free port, wait for readiness, submit the built-in wan
+# example, follow the job to completion, and assert that the result is
+# optimal, that the SSE stream carries incumbent events, and that
+# /metrics exposes the algorithm counters in Prometheus text format.
+# Used by `make serve-smoke` and CI's serve-smoke job. Requires curl;
+# uses no other tooling beyond the Go toolchain and POSIX sh.
+set -eu
+
+PORT="${CDCSD_PORT:-18080}"
+ADDR="127.0.0.1:$PORT"
+BIN="${BIN:-bin}"
+LOG="$BIN/cdcsd-smoke.log"
+
+mkdir -p "$BIN"
+go build -o "$BIN/cdcsd" ./cmd/cdcsd
+
+"$BIN/cdcsd" -addr "$ADDR" -log-level debug >/dev/null 2>"$LOG" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+# Readiness: poll /readyz until the daemon accepts connections.
+ready=0
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || fail "/readyz never became ready"
+
+# Liveness carries the build version.
+curl -fsS "http://$ADDR/healthz" | grep -q '"status": *"ok"' \
+    || fail "/healthz did not report ok"
+
+# Submit the wan example and extract the job id without jq.
+job=$(curl -fsS -X POST "http://$ADDR/v1/synthesize" \
+    -d '{"example":"wan","options":{"workers":2}}')
+id=$(printf '%s' "$job" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || fail "no job id in submit response: $job"
+
+# Follow the job to a terminal state.
+state=""
+for _ in $(seq 1 100); do
+    state=$(curl -fsS "http://$ADDR/v1/jobs/$id" \
+        | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    [ "$state" = done ] && break
+    [ "$state" = failed ] && fail "job failed: $(curl -fsS "http://$ADDR/v1/jobs/$id")"
+    sleep 0.1
+done
+[ "$state" = done ] || fail "job did not finish (state: $state)"
+
+result=$(curl -fsS "http://$ADDR/v1/jobs/$id")
+printf '%s' "$result" | grep -q '"optimal": *true' \
+    || fail "job result is not optimal: $result"
+
+# The SSE replay must contain the run bracket and incumbent events.
+events=$(curl -fsS -N --max-time 10 "http://$ADDR/v1/jobs/$id/events")
+printf '%s' "$events" | grep -q '^event: run_start$' || fail "SSE stream has no run_start"
+printf '%s' "$events" | grep -q '^event: incumbent$' || fail "SSE stream has no incumbent event"
+printf '%s' "$events" | grep -q '^event: run_end$'   || fail "SSE stream has no run_end"
+
+# /metrics speaks Prometheus text format and carries the counters.
+metrics=$(curl -fsS "http://$ADDR/metrics")
+printf '%s\n' "$metrics" | grep -q '^# TYPE ucp_incumbents_total counter$' \
+    || fail "/metrics has no ucp_incumbents_total TYPE line"
+printf '%s\n' "$metrics" | grep -q '^serve_jobs_completed_total 1$' \
+    || fail "/metrics did not count the completed job"
+printf '%s\n' "$metrics" | grep -Eq '^ucp_nodes_total [0-9]+$' \
+    || fail "/metrics has no ucp_nodes_total sample"
+
+# Graceful shutdown: SIGTERM drains and the process exits cleanly.
+kill "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not exit within 10s of SIGTERM"
+    sleep 0.1
+done
+trap - EXIT INT TERM
+
+echo "serve-smoke: OK (job $id optimal, SSE incumbents seen, metrics scraped)"
