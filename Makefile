@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 VETTOOL := $(CURDIR)/$(BIN)/cdcsvet
 
-.PHONY: all build test race vet lint tools bench-gate bench-seed trace-example serve-smoke clean
+.PHONY: all build test race vet lint tools bench-gate bench-seed bench-alloc trace-example serve-smoke clean
 
 all: build test
 
@@ -40,6 +40,12 @@ bench-gate:
 # (commit the new BENCH_seed.json together with the change).
 bench-seed:
 	$(GO) run ./cmd/cdcs-bench -short -json BENCH_seed.json
+
+# Gate the steady-state pricing allocation budget: measured
+# allocations per priced candidate on the WAN and NoC workloads must
+# stay within the checked-in budget in internal/synth/alloc_test.go.
+bench-alloc:
+	$(GO) test ./internal/synth -run 'TestAllocBudget' -count=1 -v
 
 # End-to-end smoke test of the cdcsd serving daemon: start it, submit
 # the wan example, assert SSE incumbent events and Prometheus-format

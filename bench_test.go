@@ -20,6 +20,7 @@ import (
 	"repro/internal/merging"
 	"repro/internal/model"
 	"repro/internal/p2p"
+	"repro/internal/place"
 	"repro/internal/synth"
 	"repro/internal/workloads"
 )
@@ -307,6 +308,40 @@ func BenchmarkPriceParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkPricingAllocs measures steady-state candidate pricing on the
+// WAN instance with a warm planner memo and placement scratch,
+// reporting allocations per priced candidate (the number the checked-in
+// budget in internal/synth's alloc tests pins). ReportAllocs covers the
+// whole loop; allocs/candidate is the per-unit view.
+func BenchmarkPricingAllocs(b *testing.B) {
+	cg := workloads.WAN()
+	lib := workloads.WANLibrary()
+	enum, err := merging.Enumerate(cg, lib, merging.Options{Policy: merging.MaxIndexRef})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sets [][]model.ChannelID
+	for k := 2; k < len(enum.ByK); k++ {
+		sets = append(sets, enum.ByK[k]...)
+	}
+	opt := place.Options{Planner: p2p.NewPlanner(lib), Scratch: &place.Scratch{}}
+	for _, set := range sets { // warm memo and scratch
+		if _, err := place.Optimize(cg, lib, set, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, set := range sets {
+			if _, err := place.Optimize(cg, lib, set, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(sets)), "candidates/op")
 }
 
 // TestAllExperimentsPass runs the complete experiment suite once; this

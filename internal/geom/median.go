@@ -27,6 +27,19 @@ type MedianOptions struct {
 	// Tol is the movement threshold below which iteration stops.
 	// Zero means 1e-9 relative to the bounding-box diagonal.
 	Tol float64
+	// Scratch, when non-nil, supplies reusable buffers for the L1
+	// solver's per-axis weighted medians, making repeated calls
+	// allocation-free. The scratch path sorts by insertion, so it is
+	// meant for the small site sets of the placement hot loop (a merging
+	// has k ≤ a dozen channels); large one-off calls should leave it nil
+	// and keep the O(n log n) path.
+	Scratch *MedianScratch
+}
+
+// MedianScratch holds the reusable buffers behind MedianOptions.Scratch.
+// A scratch must not be shared between concurrent median calls.
+type MedianScratch struct {
+	vals, ws []float64
 }
 
 func (o MedianOptions) maxIter() int {
@@ -117,7 +130,17 @@ func WeightedMedianL2(sites []Point, weights []float64, opt MedianOptions) Point
 // a weighted median of the site coordinates. A nil weights slice means
 // unit weights. It panics if sites is empty or a weight is negative.
 func WeightedMedianL1(sites []Point, weights []float64) Point {
+	return weightedMedianL1(sites, weights, nil)
+}
+
+func weightedMedianL1(sites []Point, weights []float64, sc *MedianScratch) Point {
 	checkSites(sites, weights)
+	if sc != nil {
+		return Point{
+			X: weightedMedian1DScratch(sites, weights, sc, func(p Point) float64 { return p.X }),
+			Y: weightedMedian1DScratch(sites, weights, sc, func(p Point) float64 { return p.Y }),
+		}
+	}
 	xs := make([]float64, len(sites))
 	ys := make([]float64, len(sites))
 	for i, s := range sites {
@@ -128,6 +151,39 @@ func WeightedMedianL1(sites []Point, weights []float64) Point {
 		X: weightedMedian1D(xs, weights),
 		Y: weightedMedian1D(ys, weights),
 	}
+}
+
+// weightedMedian1DScratch is weightedMedian1D on caller-owned buffers:
+// coordinates and weights are copied into the scratch pair and kept
+// sorted by insertion (the placement hot loop calls this with k ≤ a
+// dozen sites, where insertion sort beats the boxing of sort.Slice and
+// allocates nothing once the scratch has grown).
+func weightedMedian1DScratch(sites []Point, weights []float64, sc *MedianScratch, coord func(Point) float64) float64 {
+	vals := sc.vals[:0]
+	ws := sc.ws[:0]
+	var total float64
+	for i, s := range sites {
+		v := coord(s)
+		w := weightAt(weights, i)
+		total += w
+		k := len(vals)
+		vals = append(vals, v)
+		ws = append(ws, w)
+		for ; k > 0 && vals[k-1] > v; k-- {
+			vals[k], vals[k-1] = vals[k-1], vals[k]
+			ws[k], ws[k-1] = ws[k-1], ws[k]
+		}
+	}
+	sc.vals, sc.ws = vals, ws
+	half := total / 2
+	var acc float64
+	for i, w := range ws {
+		acc += w
+		if acc >= half {
+			return vals[i]
+		}
+	}
+	return vals[len(vals)-1]
 }
 
 // weightedMedian1D returns a weighted median of vals: a point m such that
@@ -167,7 +223,7 @@ func WeightedMedian(n Norm, sites []Point, weights []float64, opt MedianOptions)
 	case "euclidean":
 		return WeightedMedianL2(sites, weights, opt)
 	case "manhattan":
-		return WeightedMedianL1(sites, weights)
+		return weightedMedianL1(sites, weights, opt.Scratch)
 	}
 	return coordinateDescent(n, sites, weights, opt)
 }

@@ -1,0 +1,69 @@
+package merging
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers backed
+// by a flat word array. Enumeration uses two of them per run: the
+// Theorem 3.1 live set (arcs still eligible for larger mergings) and
+// the per-level in-candidate set. Membership, insertion and the
+// level-end intersection are single-word operations, replacing the map
+// surgery the pre-flattening implementation performed per level.
+type bitset []uint64
+
+// newBitset returns an empty set with capacity for values 0..n-1.
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+// set inserts i.
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// has reports whether i is in the set.
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// count returns the number of elements.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// reset empties the set in place.
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// fill inserts every value in 0..n-1.
+func (b bitset) fill(n int) {
+	b.reset()
+	for i := 0; i < n; i++ {
+		b.set(i)
+	}
+}
+
+// intersect removes every element not also in other (b &= other).
+func (b bitset) intersect(other bitset) {
+	for i := range b {
+		b[i] &= other[i]
+	}
+}
+
+// appendMembers appends the set's elements to dst in ascending order
+// and returns the extended slice. Iterating set bits word by word keeps
+// the order identical to scanning 0..n-1, which is what pins the
+// subset-enumeration order (and hence every gate-pinned counter) across
+// the flat-representation refactor.
+func (b bitset) appendMembers(dst []int) []int {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}

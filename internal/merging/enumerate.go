@@ -179,13 +179,20 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 		maxArity:     make(map[model.ChannelID]int),
 	}
 
-	active := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		active = append(active, i)
-	}
+	// Theorem 3.1 bookkeeping on flat words: live holds the arcs still
+	// eligible for this level's mergings, inCand the arcs seen in some
+	// candidate of the current level. Elimination at a level end is one
+	// word-wise intersection instead of rebuilding an index slice, and
+	// the live members are materialized (ascending, so the subset
+	// odometer walks the exact same order as the map-era code) into a
+	// scratch slice reused across levels.
+	live := newBitset(n)
+	live.fill(n)
+	inCand := newBitset(n)
+	activeScratch := make([]int, 0, n)
 	done := ctx.Done()
 
-	for k := 2; k <= maxK && len(active) >= k; k++ {
+	for k := 2; k <= maxK && live.count() >= k; k++ {
 		// A per-level check makes an already-dead context deterministic
 		// even when no level tests enough subsets to reach the
 		// amortized in-loop check.
@@ -199,7 +206,8 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 				break
 			}
 		}
-		inCandidate := make(map[int]bool)
+		inCand.reset()
+		active := live.appendMembers(activeScratch[:0])
 		var sets [][]model.ChannelID
 		abort := false
 
@@ -242,7 +250,7 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 			sets = append(sets, ids)
 			res.total++
 			for _, a := range subset {
-				inCandidate[a] = true
+				inCand.set(a)
 				// Levels run in increasing k, so the latest level a
 				// channel appears in is its max arity.
 				res.maxArity[model.ChannelID(a)] = k
@@ -291,15 +299,16 @@ func EnumerateContext(ctx context.Context, cg *model.ConstraintGraph, lib *libra
 			break
 		}
 		if !opt.DisableTheorem31 {
-			var next []int
+			// Theorem 3.1 row deletion as a bitmask: arcs in no candidate
+			// of this level leave the live set in one AND over the word
+			// array; their Γ/Δ rows are never visited again because the
+			// next level's subset odometer only walks live members.
 			for _, a := range active {
-				if inCandidate[a] {
-					next = append(next, a)
-				} else if res.EliminatedAt[model.ChannelID(a)] == 0 {
+				if !inCand.has(a) && res.EliminatedAt[model.ChannelID(a)] == 0 {
 					res.EliminatedAt[model.ChannelID(a)] = k
 				}
 			}
-			active = next
+			live.intersect(inCand)
 		}
 	}
 	res.publishMetrics(ctx)

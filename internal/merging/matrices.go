@@ -7,7 +7,7 @@
 package merging
 
 import (
-	"fmt"
+	"strconv"
 
 	"repro/internal/model"
 )
@@ -30,6 +30,11 @@ func (m *SymMatrix) Size() int { return m.n }
 
 // At returns the (i, j) entry.
 func (m *SymMatrix) At(i, j int) float64 { return m.vals[i*m.n+j] }
+
+// row returns row i of the dense backing array as a slice view. The
+// prune tests index it directly in their inner loops; by symmetry
+// row(i)[j] == At(i, j) == At(j, i).
+func (m *SymMatrix) row(i int) []float64 { return m.vals[i*m.n : (i+1)*m.n] }
 
 // Set writes the (i, j) and (j, i) entries.
 func (m *SymMatrix) Set(i, j int, v float64) {
@@ -83,18 +88,33 @@ func BandwidthVector(cg *model.ConstraintGraph) []float64 {
 }
 
 // String renders the upper triangle with two decimals, mirroring the
-// layout of the paper's Tables 1 and 2.
+// layout of the paper's Tables 1 and 2. The output is appended into one
+// byte buffer sized up front, with entries formatted by
+// strconv.AppendFloat into a stack scratch and left-padded to the %9.2f
+// layout by hand. The former += concatenation copied the accumulated
+// string once per cell — quadratically many reallocating appends over
+// the n²·9 bytes emitted — and the obvious fmt.Fprintf replacement
+// still boxes every float64 into an interface, one heap allocation per
+// cell; this rendering performs two allocations total regardless of n.
+// Byte-compatibility with fmt's "%9.2f" (including NaN/±Inf spelling
+// and cells overflowing the 9-column minimum) is pinned by the golden
+// test against the reference renderer.
 func (m *SymMatrix) String() string {
-	s := ""
+	buf := make([]byte, 0, m.n*(m.n*9+1))
+	var num [24]byte
 	for i := 0; i < m.n; i++ {
 		for j := 0; j < m.n; j++ {
 			if j <= i {
-				s += fmt.Sprintf("%9s", "")
+				buf = append(buf, "         "...)
 				continue
 			}
-			s += fmt.Sprintf("%9.2f", m.At(i, j))
+			s := strconv.AppendFloat(num[:0], m.At(i, j), 'f', 2, 64)
+			for pad := 9 - len(s); pad > 0; pad-- {
+				buf = append(buf, ' ')
+			}
+			buf = append(buf, s...)
 		}
-		s += "\n"
+		buf = append(buf, '\n')
 	}
-	return s
+	return string(buf)
 }

@@ -1,0 +1,71 @@
+package merging
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// refMatrixString is the pre-builder rendering: naive string
+// concatenation over every cell. O(n²) appends each copying the
+// accumulated string — the quadratic behavior the strings.Builder
+// rewrite removed — kept here as the byte-exact golden reference.
+func refMatrixString(m *SymMatrix) string {
+	s := ""
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j <= i {
+				s += fmt.Sprintf("%9s", "")
+				continue
+			}
+			s += fmt.Sprintf("%9.2f", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// TestSymMatrixStringGolden pins the builder-based String to the exact
+// bytes of the concatenation-based original, including the 9-space
+// lower-triangle padding, across sizes and value magnitudes (negatives
+// and >6-digit entries widen cells past the %9.2f minimum, which the
+// Grow estimate must tolerate without changing output).
+func TestSymMatrixStringGolden(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 40} {
+		m := NewSymMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := (r.Float64() - 0.25) * 1e5
+				m.Set(i, j, v)
+			}
+		}
+		got, want := m.String(), refMatrixString(m)
+		if got != want {
+			t.Fatalf("n=%d: String() diverged from reference rendering\n got: %q\nwant: %q", n, got, want)
+		}
+		if n > 1 && !strings.HasSuffix(got, "\n") {
+			t.Fatalf("n=%d: rendering lost trailing newline", n)
+		}
+	}
+}
+
+// TestSymMatrixStringLinear guards the point of the rewrite: rendering
+// must not allocate quadratically. One Builder with a Grow up front
+// means allocations stay (nearly) flat in n — the old concatenation
+// performed one allocation per cell.
+func TestSymMatrixStringLinear(t *testing.T) {
+	m := NewSymMatrix(60)
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			m.Set(i, j, float64(i*60+j))
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() { _ = m.String() })
+	// The buffer and its string conversion; 3600 cells cost thousands of
+	// allocations under concatenation or per-cell Fprintf boxing.
+	if allocs > 10 {
+		t.Errorf("String() allocates %.0f times for a 60×60 matrix; rendering regressed to per-cell allocation", allocs)
+	}
+}

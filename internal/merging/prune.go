@@ -33,14 +33,23 @@ func NotMergeablePair(gamma, delta *SymMatrix, i, j int) bool {
 //
 // which in matrix form is Σᵢ Γ(aᵢ, a_r) ≤ Σᵢ Δ(aᵢ, a_r) over the
 // non-reference arcs aᵢ.
+// The row slices are taken once from the dense backing array (the
+// matrices are symmetric, so row ref holds every (i, ref) entry) and
+// indexed directly in the loop — the Lemma 3.2 test is the innermost
+// operation of enumeration at k ≥ 3, and hoisting the ref·n offset out
+// of the element accesses is measurable there. Summation order over
+// arcs is unchanged, so the epsilon-tolerant comparison sees bit-equal
+// operands.
 func NotMergeableRef(gamma, delta *SymMatrix, arcs []int, ref int) bool {
+	grow := gamma.row(ref)
+	drow := delta.row(ref)
 	var lhs, rhs float64
 	for _, i := range arcs {
 		if i == ref {
 			continue
 		}
-		lhs += gamma.At(i, ref)
-		rhs += delta.At(i, ref)
+		lhs += grow[i]
+		rhs += drow[i]
 	}
 	return num.LessEq(lhs, rhs)
 }

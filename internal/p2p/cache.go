@@ -1,6 +1,8 @@
 package p2p
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -21,14 +23,33 @@ import (
 // re-asked thousands of times by a pattern search walking an infeasible
 // region, and the negative answer is as reusable as a plan.
 //
+// The memo table is striped into numShards typed maps, each guarded by
+// its own mutex, so pricing workers hammering different sub-problems do
+// not serialize on one lock. Within a shard the fill is single-flight:
+// when several goroutines miss the same key concurrently, exactly one
+// entry is created and exactly one BestPlan solve runs (guarded by the
+// entry's sync.Once); the racing callers block on the Once and read the
+// filled result. Stats().Misses therefore counts solves — equivalently,
+// unique keys — not miss *attempts*, at every worker count.
+//
 // All methods are safe for concurrent use; BestPlan is deterministic,
-// so concurrent fills of the same key store identical values and cache
-// hits can never change a result.
+// so cache hits can never change a result.
 type Planner struct {
 	lib    *library.Library
-	memo   sync.Map // planKey -> planResult
+	shards [numShards]shard
 	hits   atomic.Int64
 	misses atomic.Int64
+}
+
+// numShards is the stripe count of the memo table: a power of two so
+// shard selection masks the key hash instead of dividing. 32 keeps
+// per-shard contention negligible at the worker counts the pricing pool
+// reaches while costing only 32 small maps per run.
+const numShards = 32
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[planKey]*planEntry
 }
 
 // planKey identifies one BestPlan sub-problem. Options is a small
@@ -38,10 +59,43 @@ type planKey struct {
 	opt  Options
 }
 
-type planResult struct {
+// hash mixes the key into a shard index. The float bit patterns go
+// through a 64-bit SplitMix64-style finalizer — distances produced by
+// geometric probes share exponent bits, so the avalanche step is what
+// spreads them across shards.
+func (k planKey) hash() uint64 {
+	h := math.Float64bits(k.d)
+	h = mix64(h ^ math.Float64bits(k.b))
+	h = mix64(h ^ uint64(k.opt.MaxSegments)<<1 ^ uint64(k.opt.MaxChains)<<21)
+	if k.opt.ChargeSwitchesOnDuplication {
+		h = mix64(h ^ 0x9e3779b97f4a7c15)
+	}
+	return h
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// planEntry is one memoized sub-problem. once guards the single fill;
+// plan/err are written inside once.Do and only read after it returns,
+// which is what makes the lock-free read on the hit path safe.
+type planEntry struct {
+	once sync.Once
 	plan Plan
 	err  error
 }
+
+// testFillHook, when non-nil, is invoked once per BestPlan solve the
+// planner performs (inside the single-flight fill). Tests use it to
+// prove racing misses solve exactly once; production code never sets
+// it.
+var testFillHook func(d, b float64)
 
 // NewPlanner returns an empty memo table over lib.
 func NewPlanner(lib *library.Library) *Planner {
@@ -52,25 +106,62 @@ func NewPlanner(lib *library.Library) *Planner {
 func (p *Planner) Library() *library.Library { return p.lib }
 
 // BestPlan is a memoized BestPlan(d, b, p.Library(), opt).
+//
+// Non-finite inputs are rejected up front without touching the memo: a
+// NaN key can never be looked up again (NaN ≠ NaN, so every ask would
+// miss and Store a fresh entry — the table would grow without bound on
+// poisoned inputs), and an infinite distance or bandwidth admits no
+// finite-cost plan. The rejection is counted as neither hit nor miss.
 func (p *Planner) BestPlan(d, b float64, opt Options) (Plan, error) {
-	key := planKey{d: d, b: b, opt: opt}
-	if v, ok := p.memo.Load(key); ok {
-		p.hits.Add(1)
-		r := v.(planResult)
-		return r.plan, r.err
+	if math.IsNaN(d) || math.IsInf(d, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+		return Plan{}, fmt.Errorf("p2p: non-finite requirement d=%g b=%g", d, b)
 	}
-	p.misses.Add(1)
-	plan, err := BestPlan(d, b, p.lib, opt)
-	p.memo.Store(key, planResult{plan: plan, err: err})
-	return plan, err
+	key := planKey{d: d, b: b, opt: opt}
+	sh := &p.shards[key.hash()&(numShards-1)]
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		if sh.entries == nil {
+			sh.entries = make(map[planKey]*planEntry)
+		}
+		e = &planEntry{}
+		sh.entries[key] = e
+	}
+	sh.mu.Unlock()
+	// Outside the shard lock: the fill runs one BestPlan solve per
+	// entry no matter how many goroutines raced past the map lookup.
+	// Whoever arrives first executes it; everyone else blocks on the
+	// Once until the result is written. On the steady-state hit path
+	// this is a single atomic load.
+	e.once.Do(func() {
+		if hook := testFillHook; hook != nil {
+			hook(d, b)
+		}
+		e.plan, e.err = BestPlan(d, b, p.lib, opt)
+	})
+	if ok {
+		p.hits.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	return e.plan, e.err
 }
 
 // CacheStats are a Planner's lifetime counters.
 type CacheStats struct {
-	// Hits counts BestPlan calls answered from the memo table.
+	// Hits counts BestPlan calls answered from an entry some other call
+	// created (including calls that waited on a racing fill).
 	Hits int64
-	// Misses counts calls that had to solve the sub-problem.
+	// Misses counts calls that created a memo entry. Under single-fill
+	// semantics this equals both the number of BestPlan solves and the
+	// number of unique keys asked, at every worker count.
 	Misses int64
+	// Entries is the memo table's size: unique sub-problems cached
+	// across all shards. Equal to Misses for a quiesced planner; sampled
+	// live it can trail it by in-flight fills.
+	Entries int64
+	// Shards is the stripe count of the memo table.
+	Shards int
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 for an unused planner.
@@ -82,7 +173,14 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Stats snapshots the hit/miss counters.
+// Stats snapshots the hit/miss counters and the table size.
 func (p *Planner) Stats() CacheStats {
-	return CacheStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+	s := CacheStats{Hits: p.hits.Load(), Misses: p.misses.Load(), Shards: numShards}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		s.Entries += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return s
 }

@@ -142,6 +142,113 @@ type mismatchError struct{ d, b float64 }
 
 func (e *mismatchError) Error() string { return "cached plan diverged from BestPlan" }
 
+// TestPlannerSingleFlight: 16 workers hammer the same small key set
+// through a cold planner; the fill hook counts actual BestPlan solves.
+// Single-flight means every unique key is solved exactly once no matter
+// how many goroutines raced past the lookup, and Stats().Misses counts
+// exactly those solves (the pre-sharding sync.Map implementation let
+// every racing miss solve and Store, so Misses overcounted unique keys
+// nondeterministically). Run under -race this also proves the
+// fill/read handoff is properly synchronized.
+func TestPlannerSingleFlight(t *testing.T) {
+	lib := cacheTestLib()
+	pl := NewPlanner(lib)
+
+	var mu sync.Mutex
+	solves := make(map[[2]float64]int)
+	testFillHook = func(d, b float64) {
+		mu.Lock()
+		solves[[2]float64{d, b}]++
+		mu.Unlock()
+	}
+	defer func() { testFillHook = nil }()
+
+	const workers = 16
+	const perWorker = 100
+	const uniqueKeys = 10 // d in 1..10, b fixed
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start.Wait() // maximize racing misses on the cold table
+			for i := 0; i < perWorker; i++ {
+				d := float64(1 + (i+w)%uniqueKeys)
+				if _, err := pl.BestPlan(d, 10, Options{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	start.Done()
+	wg.Wait()
+
+	if len(solves) != uniqueKeys {
+		t.Errorf("solved %d distinct keys, want %d", len(solves), uniqueKeys)
+	}
+	for k, n := range solves {
+		if n != 1 {
+			t.Errorf("key %v solved %d times, want exactly 1", k, n)
+		}
+	}
+	s := pl.Stats()
+	if s.Misses != uniqueKeys {
+		t.Errorf("Misses = %d, want %d (one per unique key at any worker count)", s.Misses, uniqueKeys)
+	}
+	if s.Entries != uniqueKeys {
+		t.Errorf("Entries = %d, want %d", s.Entries, uniqueKeys)
+	}
+	if s.Hits+s.Misses != workers*perWorker {
+		t.Errorf("Hits+Misses = %d, want %d", s.Hits+s.Misses, workers*perWorker)
+	}
+	if s.Shards != numShards {
+		t.Errorf("Shards = %d, want %d", s.Shards, numShards)
+	}
+}
+
+// TestPlannerRejectsNonFinite: NaN/Inf requirements must error without
+// touching the memo. A NaN key in particular would poison the table —
+// NaN ≠ NaN, so every ask would miss and insert a fresh entry, growing
+// the memo without bound.
+func TestPlannerRejectsNonFinite(t *testing.T) {
+	pl := NewPlanner(cacheTestLib())
+	nan := math.NaN()
+	inf := math.Inf(1)
+	bad := [][2]float64{
+		{nan, 10}, {5, nan}, {nan, nan},
+		{inf, 10}, {math.Inf(-1), 10}, {5, inf}, {5, math.Inf(-1)},
+	}
+	for i := 0; i < 3; i++ { // repeated asks must not accumulate entries
+		for _, c := range bad {
+			if _, err := pl.BestPlan(c[0], c[1], Options{}); err == nil {
+				t.Fatalf("BestPlan(%g, %g) succeeded, want error", c[0], c[1])
+			}
+		}
+	}
+	s := pl.Stats()
+	if s.Entries != 0 {
+		t.Errorf("non-finite keys grew the memo to %d entries, want 0", s.Entries)
+	}
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("non-finite rejections counted in stats: %+v", s)
+	}
+}
+
+// TestPlannerEntriesMatchesMisses: after any quiesced workload the memo
+// size equals the solve count — no duplicate entries across shards.
+func TestPlannerEntriesMatchesMisses(t *testing.T) {
+	pl := NewPlanner(cacheTestLib())
+	for i := 0; i < 50; i++ {
+		pl.BestPlan(float64(1+i%20), float64(5+i%7), Options{})
+	}
+	s := pl.Stats()
+	if s.Entries != s.Misses {
+		t.Errorf("Entries = %d, Misses = %d; want equal on a quiesced planner", s.Entries, s.Misses)
+	}
+}
+
 // TestCacheStatsHitRate covers the derived ratio.
 func TestCacheStatsHitRate(t *testing.T) {
 	if r := (CacheStats{}).HitRate(); r != 0 {

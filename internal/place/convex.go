@@ -26,7 +26,7 @@ import (
 func convexSeed(
 	norm geom.Norm, lib *library.Library,
 	sources, dests []geom.Point, bws []float64, trunkBW float64,
-	opt Options,
+	sc *Scratch,
 ) ([2]geom.Point, bool) {
 	for _, l := range lib.Links {
 		if !l.Unbounded() || l.CostFixed != 0 {
@@ -49,7 +49,7 @@ func convexSeed(
 		}
 		return best, !math.IsInf(best, 1)
 	}
-	weights := make([]float64, len(bws))
+	weights := resizeFloats(&sc.weights, len(bws))
 	for i, b := range bws {
 		w, ok := rate(b, false)
 		if !ok {
@@ -65,14 +65,17 @@ func convexSeed(
 	// A loose per-median iteration budget: the pattern-search polish in
 	// Optimize absorbs the residual tolerance, so the alternation only
 	// needs to get close.
-	mopt := geom.MedianOptions{MaxIter: 60}
+	mopt := geom.MedianOptions{MaxIter: 60, Scratch: &sc.median}
 	x1 := geom.WeightedMedian(norm, sources, weights, mopt)
 	x2 := geom.WeightedMedian(norm, dests, weights, mopt)
-	bb := geom.Bounds(append(append([]geom.Point(nil), sources...), dests...))
+	pts := append(append(sc.pts[:0], sources...), dests...)
+	sc.pts = pts
+	bb := geom.Bounds(pts)
 	tol := 1e-6 * math.Max(1, math.Max(bb.Width(), bb.Height()))
-	srcSites := append(append([]geom.Point(nil), sources...), x2)
-	dstSites := append(append([]geom.Point(nil), dests...), x1)
-	wAll := append(append([]float64(nil), weights...), wTrunk)
+	srcSites := append(append(sc.srcSites[:0], sources...), x2)
+	dstSites := append(append(sc.dstSites[:0], dests...), x1)
+	wAll := append(append(sc.wAll[:0], weights...), wTrunk)
+	sc.srcSites, sc.dstSites, sc.wAll = srcSites, dstSites, wAll
 	for iter := 0; iter < 40; iter++ {
 		srcSites[len(srcSites)-1] = x2
 		nx1 := geom.WeightedMedian(norm, srcSites, wAll, mopt)

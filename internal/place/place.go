@@ -48,6 +48,26 @@ type Options struct {
 	// bandwidths (default, matching the paper's multiplexer description)
 	// or their maximum (the literal Definition 2.8 bound, for ablation).
 	Capacity TrunkCapacity
+	// Scratch, when non-nil, supplies reusable buffers for the per-call
+	// endpoint/weight staging and the convex-seed alternation, making a
+	// warm Optimize call (planner memo hot) allocate only the candidate
+	// it returns. A scratch must not be shared between concurrent
+	// Optimize calls; synthesis keeps one per pricing worker.
+	Scratch *Scratch
+}
+
+// Scratch holds the reusable buffers behind Options.Scratch. The zero
+// value is ready to use; buffers grow to the largest merging priced
+// through them and are reused verbatim afterwards.
+type Scratch struct {
+	sources, dests     []geom.Point
+	bws                []float64
+	pts                []geom.Point
+	weights            []float64
+	srcSites, dstSites []geom.Point
+	wAll               []float64
+	starts             [][2]geom.Point
+	median             geom.MedianScratch
 }
 
 // TrunkCapacity selects the trunk sizing rule.
@@ -99,9 +119,13 @@ func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.
 		return nil, fmt.Errorf("place: library lacks mux/demux nodes; merging unavailable")
 	}
 
-	sources := make([]geom.Point, len(channels))
-	dests := make([]geom.Point, len(channels))
-	bws := make([]float64, len(channels))
+	sc := opt.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sources := resizePoints(&sc.sources, len(channels))
+	dests := resizePoints(&sc.dests, len(channels))
+	bws := resizeFloats(&sc.bws, len(channels))
 	var trunkBW float64
 	for i, ch := range channels {
 		c := cg.Channel(ch)
@@ -147,7 +171,9 @@ func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.
 		}
 		return total
 	}
-	// build constructs the full candidate at the chosen positions.
+	// build constructs the full candidate at the chosen positions. The
+	// candidate escapes to the caller, so its slices are fresh
+	// exact-capacity allocations, never scratch views.
 	build := func(x1, x2 geom.Point) (*Candidate, error) {
 		cand := &Candidate{
 			Channels:  append([]model.ChannelID(nil), channels...),
@@ -155,6 +181,8 @@ func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.
 			DemuxPos:  x2,
 			MuxNode:   mux,
 			DemuxNode: demux,
+			AccessIn:  make([]p2p.Plan, 0, len(channels)),
+			AccessOut: make([]p2p.Plan, 0, len(channels)),
 		}
 		trunk, err := planner.BestPlan(norm.Distance(x1, x2), trunkBW, trunkOpt)
 		if err != nil {
@@ -179,7 +207,9 @@ func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.
 		return cand, nil
 	}
 
-	bb := geom.Bounds(append(append([]geom.Point(nil), sources...), dests...))
+	pts := append(append(sc.pts[:0], sources...), dests...)
+	sc.pts = pts
+	bb := geom.Bounds(pts)
 	initStep := math.Max(bb.Width(), bb.Height())
 	if initStep == 0 {
 		initStep = 1
@@ -192,19 +222,21 @@ func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.
 	// jointly convex weighted sum of norms, solved directly by
 	// alternating weighted medians; a short small-step polish absorbs
 	// the iteration tolerance.
-	if seed, ok := convexSeed(norm, lib, sources, dests, bws, trunkBW, opt); ok {
+	if seed, ok := convexSeed(norm, lib, sources, dests, bws, trunkBW, sc); ok {
 		bestCost, bestX1, bestX2 = patternSearch(eval, seed[0], seed[1], initStep*0.02, 20)
 	} else {
 		// General path: multistart pattern search from the endpoint
 		// medians, centroids, and each channel's own endpoints.
-		starts := [][2]geom.Point{
-			{geom.WeightedMedian(norm, sources, bws, geom.MedianOptions{}),
-				geom.WeightedMedian(norm, dests, bws, geom.MedianOptions{})},
-			{geom.Centroid(sources), geom.Centroid(dests)},
-		}
+		mopt := geom.MedianOptions{Scratch: &sc.median}
+		starts := append(sc.starts[:0],
+			[2]geom.Point{geom.WeightedMedian(norm, sources, bws, mopt),
+				geom.WeightedMedian(norm, dests, bws, mopt)},
+			[2]geom.Point{geom.Centroid(sources), geom.Centroid(dests)},
+		)
 		for i := range sources {
 			starts = append(starts, [2]geom.Point{sources[i], dests[i]})
 		}
+		sc.starts = starts
 		for _, s := range starts {
 			if c, x1, x2 := patternSearch(eval, s[0], s[1], initStep, opt.maxIter()); c < bestCost {
 				bestCost, bestX1, bestX2 = c, x1, x2
@@ -218,10 +250,21 @@ func Optimize(cg *model.ConstraintGraph, lib *library.Library, channels []model.
 	return build(bestX1, bestX2)
 }
 
+// patternDirs are the eight compass directions of the pattern search,
+// hoisted to package scope so the hot loop references static data
+// instead of rebuilding a slice per call.
+var patternDirs = [8]geom.Point{
+	{X: 1}, {X: -1}, {Y: 1}, {Y: -1},
+	{X: 1, Y: 1}, {X: 1, Y: -1}, {X: -1, Y: 1}, {X: -1, Y: -1},
+}
+
 // patternSearch minimizes eval over the two hub positions with a
 // shrinking compass pattern. It moves one hub at a time through the
 // eight compass directions plus joint translations, returning the best
-// cost and positions found.
+// cost and positions found. The three probe position-pairs per
+// direction live in a fixed-size stack array — the former per-iteration
+// slice literal was the single largest allocation source of candidate
+// pricing (3 probes × 8 directions × ~10² iterations per Optimize).
 func patternSearch(
 	eval func(geom.Point, geom.Point) float64,
 	x1, x2 geom.Point, step float64, maxIter int,
@@ -230,16 +273,12 @@ func patternSearch(
 	if math.IsInf(bestCost, 1) {
 		return bestCost, x1, x2
 	}
-	dirs := []geom.Point{
-		{X: 1}, {X: -1}, {Y: 1}, {Y: -1},
-		{X: 1, Y: 1}, {X: 1, Y: -1}, {X: -1, Y: 1}, {X: -1, Y: -1},
-	}
 	tol := step * 1e-7
 	for iter := 0; iter < maxIter && step > tol; iter++ {
 		improved := false
-		for _, d := range dirs {
+		for _, d := range patternDirs {
 			delta := d.Scale(step)
-			moves := [][2]geom.Point{
+			moves := [3][2]geom.Point{
 				{x1.Add(delta), x2},            // move mux
 				{x1, x2.Add(delta)},            // move demux
 				{x1.Add(delta), x2.Add(delta)}, // translate both
@@ -257,4 +296,23 @@ func patternSearch(
 		}
 	}
 	return bestCost, x1, x2
+}
+
+// resizePoints returns *buf resized to n, growing the backing array
+// only when the scratch has never seen a merging this large.
+func resizePoints(buf *[]geom.Point, n int) []geom.Point {
+	if cap(*buf) < n {
+		*buf = make([]geom.Point, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// resizeFloats is resizePoints for float64 buffers.
+func resizeFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }

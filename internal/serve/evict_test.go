@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// getJobStatus fetches /v1/jobs/<id> and returns the decoded job (when
+// found) and the HTTP status code.
+func getJobStatus(t *testing.T, url, id string) (jobJSON, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var j jobJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatalf("decode job %s: %v", id, err)
+		}
+	}
+	return j, resp.StatusCode
+}
+
+// TestEvictionSkipsQueuedJobs pins the eviction invariant under a POST
+// burst against a full table holding a known mix of states: a finished
+// job, a running job, and a queued-not-started job, oldest to newest.
+// Eviction must reclaim the finished job — never the queued one, even
+// though the queued job has been idle just as long from the client's
+// point of view — and once no finished job remains, submissions must be
+// rejected with 429 rather than displacing queued or running work.
+//
+// The concurrent-burst audit of evictLocked found no reproducing bug
+// (only StateDone/StateFailed jobs are eligible, oldest-first through
+// s.order, under s.mu); this test keeps it that way.
+func TestEvictionSkipsQueuedJobs(t *testing.T) {
+	const body = `{"example":"wan","options":{"workers":1}}`
+
+	// Job 1 runs to completion unhindered; every later job that reaches
+	// the running state parks in the hook until released, keeping the
+	// single concurrency slot occupied so subsequent jobs stay queued.
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	releaseAll := func() { releaseOnce.Do(func() { close(release) }) }
+	defer releaseAll()
+	started := make(chan string, 8)
+	var hookCalls int32
+	testJobStartHook = func(j *Job) {
+		if atomic.AddInt32(&hookCalls, 1) == 1 {
+			return
+		}
+		started <- j.ID
+		<-release
+	}
+	defer func() { testJobStartHook = nil }()
+
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxJobs: 3})
+
+	// Oldest slot: a finished job.
+	j1, code := submit(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 1 status = %d", code)
+	}
+	if got := waitJob(t, ts, j1.ID); got.State != StateDone {
+		t.Fatalf("job 1 state = %q, want done", got.State)
+	}
+
+	// Middle slot: a running job, held in the start hook.
+	j2, code := submit(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 2 status = %d", code)
+	}
+	if id := <-started; id != j2.ID {
+		t.Fatalf("running job is %s, want %s", id, j2.ID)
+	}
+
+	// Newest slot: a queued job that cannot start while job 2 holds the
+	// only concurrency slot. The table is now full.
+	j3, code := submit(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 3 status = %d", code)
+	}
+
+	// A further submission must evict the finished job 1 — not queued
+	// job 3 — and be accepted.
+	j4, code := submit(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit against full table with a finished job: status = %d, want 202", code)
+	}
+	if _, code := getJobStatus(t, ts.URL, j1.ID); code != http.StatusNotFound {
+		t.Errorf("finished job 1 status = %d after eviction, want 404", code)
+	}
+	if got, code := getJobStatus(t, ts.URL, j3.ID); code != http.StatusOK {
+		t.Errorf("queued job 3 status = %d, want 200 (must never be evicted)", code)
+	} else if got.State != StateQueued {
+		t.Errorf("job 3 state = %q, want queued", got.State)
+	}
+
+	// The table now holds running + queued + queued: nothing is
+	// evictable, so the next submission must be rejected outright.
+	if _, code := submit(t, ts, body); code != http.StatusTooManyRequests {
+		t.Errorf("submit against full unfinished table: status = %d, want 429", code)
+	}
+
+	// Drain the parked jobs so server shutdown is clean.
+	releaseAll()
+	for _, id := range []string{j2.ID, j3.ID, j4.ID} {
+		if got := waitJob(t, ts, id); got.State != StateDone {
+			t.Errorf("job %s finished in state %q, want done", id, got.State)
+		}
+	}
+}

@@ -243,6 +243,13 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.json())
 }
 
+// testJobStartHook, when non-nil, is called by runJob after a job has
+// acquired its concurrency slot and entered StateRunning, before
+// synthesis begins. Tests use it to hold a job in the running state so
+// the table can be filled with a known mix of finished, running and
+// queued jobs.
+var testJobStartHook func(j *Job)
+
 // evictLocked makes room for one more job, dropping finished jobs
 // oldest-first. It reports whether the table has room.
 func (s *Server) evictLocked() bool {
@@ -288,6 +295,9 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	j.setState(StateRunning)
+	if testJobStartHook != nil {
+		testJobStartHook(j)
+	}
 	inflight := s.reg.Gauge("serve/jobs_inflight")
 	inflight.Add(1)
 	defer inflight.Add(-1)

@@ -446,10 +446,11 @@ func SynthesizeContext(ctx context.Context, cg *model.ConstraintGraph, lib *libr
 
 // publishRun adds the run's summary counters — including the memoized
 // planner's cache statistics, which only settle once every phase has
-// run — to the registry carried by ctx (no-op without one). Cache
-// hit/miss totals are scheduling-dependent under parallel pricing (two
-// workers can both miss the same key), so cmd/bench-diff ignores the
-// p2p/cache/ counters by default.
+// run — to the registry carried by ctx (no-op without one). The
+// planner's single-flight fill makes misses count unique sub-problems
+// solved (deterministic at any worker count); cmd/bench-diff still
+// ignores the p2p/cache/ prefix by default so baselines recorded under
+// the old attempt-counting semantics keep comparing cleanly.
 func publishRun(ctx context.Context, r *Report) {
 	m := obs.FromContext(ctx).Metrics()
 	if m == nil {
@@ -462,6 +463,8 @@ func publishRun(ctx context.Context, r *Report) {
 	m.Counter("synth/dominated_mergings").Add(int64(r.DominatedMergings))
 	m.Counter("p2p/cache/hits").Add(r.PlanCache.Hits)
 	m.Counter("p2p/cache/misses").Add(r.PlanCache.Misses)
+	m.Counter("p2p/cache/entries").Add(r.PlanCache.Entries)
+	m.Gauge("p2p/cache/shards").Set(int64(r.PlanCache.Shards))
 	m.Gauge("synth/price/workers").Set(int64(r.Workers))
 }
 
@@ -512,12 +515,16 @@ func priceCandidates(
 	enum *merging.Result, p2pPlans []p2p.Plan,
 	opt Options, report *Report,
 ) error {
-	var sets [][]model.ChannelID
+	total := 0
+	for k := 2; k <= len(p2pPlans); k++ {
+		total += len(enum.ByK[k])
+	}
+	if total == 0 {
+		return nil
+	}
+	sets := make([][]model.ChannelID, 0, total)
 	for k := 2; k <= len(p2pPlans); k++ {
 		sets = append(sets, enum.ByK[k]...)
-	}
-	if len(sets) == 0 {
-		return nil
 	}
 
 	type priced struct {
@@ -540,12 +547,20 @@ func priceCandidates(
 	durHist := met.Histogram("synth/price/duration_us", 100, 1_000, 10_000, 100_000, 1_000_000)
 	queueDepth := met.Gauge("synth/price/queue_depth")
 	queueDepth.Set(int64(len(sets)))
-	priceSet := func(i int) {
+	// Each pricing lane owns one placement scratch: the buffers behind
+	// the pattern search and convex seed are reused across every
+	// candidate the lane prices, so a warm pricing allocates only the
+	// candidate it returns. Lane scratches are never shared (Optimize
+	// mutates them), which is why the scratch rides a parameter here
+	// rather than sitting in opt.Place up front.
+	priceSet := func(i int, sc *place.Scratch) {
 		var t0 time.Time
 		if durHist != nil {
 			t0 = now()
 		}
-		cand, err := priceOne(cg, lib, sets[i], opt.Place)
+		popt := opt.Place
+		popt.Scratch = sc
+		cand, err := priceOne(cg, lib, sets[i], popt)
 		if durHist != nil {
 			durHist.Record(now().Sub(t0).Microseconds())
 		}
@@ -571,12 +586,18 @@ func priceCandidates(
 	if workers > len(sets) {
 		workers = len(sets)
 	}
+	// scratch_pools reports how many placement scratches the phase kept
+	// alive (one per pricing lane). A gauge, not a counter: the value
+	// follows the worker count, which is machine-dependent by default,
+	// and gauges stay out of the benchmark baselines.
+	met.Gauge("synth/price/scratch_pools").Set(int64(max(workers, 1)))
 	if workers <= 1 {
+		sc := &place.Scratch{}
 		for i := range sets {
 			if canceled() {
 				break
 			}
-			priceSet(i)
+			priceSet(i, sc)
 		}
 	} else {
 		jobs := make(chan int)
@@ -590,8 +611,9 @@ func priceCandidates(
 				// labels) must be applied explicitly for CPU profiles
 				// to attribute their samples.
 				obs.ApplyGoroutineLabels(ctx)
+				sc := &place.Scratch{}
 				for i := range jobs {
-					priceSet(i)
+					priceSet(i, sc)
 				}
 			}()
 		}

@@ -34,7 +34,7 @@ func (s *bbState) dualAscentBound(active, avail []bool) float64 {
 		// covering r.
 		raise := -1.0
 		for j := range usable {
-			if !usable[j] || !containsSorted(m.cols[j].Rows, r) {
+			if !usable[j] || !m.covers(j, r) {
 				continue
 			}
 			if raise < 0 || slack[j] < raise {
@@ -46,7 +46,7 @@ func (s *bbState) dualAscentBound(active, avail []bool) float64 {
 		}
 		bound += raise
 		for j := range usable {
-			if usable[j] && containsSorted(m.cols[j].Rows, r) {
+			if usable[j] && m.covers(j, r) {
 				slack[j] -= raise
 			}
 		}
@@ -65,7 +65,7 @@ func (s *bbState) rowsByCoverCount(active, avail []bool) []int {
 		}
 		n := 0
 		for j, ok := range avail {
-			if ok && containsSorted(s.m.cols[j].Rows, r) {
+			if ok && s.m.covers(j, r) {
 				n++
 			}
 		}

@@ -30,14 +30,33 @@ type Column struct {
 }
 
 // Matrix is a weighted unate covering instance with rows 0..NumRows-1.
+//
+// Beside the column list it maintains two flat bitmask views of the
+// coverage relation, built incrementally by AddColumn and consumed by
+// the solver's hot loops: colMask[j] holds the rows column j covers
+// (one bit per row), rowMask[r] holds the columns covering row r (one
+// bit per column). Membership, cover-count and subset tests — the
+// innermost operations of essential extraction, dominance reduction and
+// both lower bounds — become single-word AND/popcount operations
+// instead of binary searches over sorted row slices.
 type Matrix struct {
 	numRows int
 	cols    []Column
+	// rowWords is the word length of every colMask (fixed by numRows);
+	// colWords is the current word length of every rowMask (grows as
+	// columns are added, all rows kept at equal length so mask pairs
+	// compare word-by-word).
+	rowWords int
+	colWords int
+	colMask  [][]uint64
+	rowMask  [][]uint64
 }
 
 // NewMatrix creates an instance with the given number of rows.
 func NewMatrix(numRows int) *Matrix {
-	return &Matrix{numRows: numRows}
+	m := &Matrix{numRows: numRows, rowWords: (numRows + 63) / 64}
+	m.rowMask = make([][]uint64, numRows)
+	return m
 }
 
 // NumRows returns the number of rows to cover.
@@ -73,7 +92,32 @@ func (m *Matrix) AddColumn(c Column) (int, error) {
 	}
 	c.Rows = dedup
 	m.cols = append(m.cols, c)
-	return len(m.cols) - 1, nil
+	j := len(m.cols) - 1
+
+	// Extend the bitmask views. Column masks are fixed-width (rows are
+	// known up front); row masks grow a word whenever the column count
+	// crosses a 64-boundary, and every row is kept at the same width so
+	// subset tests can walk mask pairs word-by-word.
+	cm := make([]uint64, m.rowWords)
+	for _, r := range dedup {
+		cm[r>>6] |= 1 << (uint(r) & 63)
+	}
+	m.colMask = append(m.colMask, cm)
+	if w := j>>6 + 1; w > m.colWords {
+		m.colWords = w
+		for r := range m.rowMask {
+			m.rowMask[r] = append(m.rowMask[r], 0)
+		}
+	}
+	for _, r := range dedup {
+		m.rowMask[r][j>>6] |= 1 << (uint(j) & 63)
+	}
+	return j, nil
+}
+
+// covers reports whether column j covers row r (a single bit test).
+func (m *Matrix) covers(j, r int) bool {
+	return m.colMask[j][r>>6]&(1<<(uint(r)&63)) != 0
 }
 
 // MustAddColumn is AddColumn that panics on error.

@@ -3,6 +3,7 @@ package ucp
 import (
 	"context"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/num"
@@ -41,6 +42,8 @@ func (m *Matrix) SolveContext(ctx context.Context) (Solution, error) {
 		bestCost: math.Inf(1),
 		done:     ctx.Done(),
 		events:   obs.EventsFromContext(ctx),
+		actMask:  make([]uint64, m.rowWords),
+		avMask:   make([]uint64, m.colWords),
 	}
 	// Seed the incumbent with the greedy solution so pruning bites early
 	// and an interrupted solve always has a feasible answer.
@@ -146,6 +149,48 @@ type bbState struct {
 	// rootBound is the instance's root relaxation, giving each
 	// incumbent event an optimality-gap bound.
 	rootBound float64
+	// actMask/avMask are scratch words for the reduction scans: the
+	// active-row and available-column sets rendered as bitmasks so
+	// essential extraction and both dominance passes run on word AND /
+	// popcount operations against the matrix's coverage masks. The
+	// search is single-threaded and each reduce call finishes with the
+	// scratch before recursing, so one buffer per dimension suffices
+	// for the whole solve.
+	actMask []uint64
+	avMask  []uint64
+}
+
+// maskFromBools renders a bool set as a bitmask into dst (zeroed first).
+func maskFromBools(dst []uint64, set []bool) []uint64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, ok := range set {
+		if ok {
+			dst[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return dst
+}
+
+// popcountAnd returns |a ∩ b| for equal-length masks.
+func popcountAnd(a, b []uint64) int {
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}
+
+// maskSubsetUnder reports whether a∩ctx ⊆ b (ctx restricts both sides:
+// x∩ctx ⊆ y∩ctx ⟺ x∩ctx ⊆ y).
+func maskSubsetUnder(a, b, ctx []uint64) bool {
+	for i, w := range a {
+		if w&ctx[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // checkCancel polls the context every cancelCheckInterval nodes.
@@ -243,7 +288,7 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 		if !ok {
 			continue
 		}
-		if containsSorted(s.m.cols[j].Rows, row) {
+		if s.m.covers(j, row) {
 			covering = append(covering, j)
 		}
 	}
@@ -276,71 +321,67 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 // forced into the solution (with their total weight).
 func (s *bbState) reduce(active, avail []bool) (changed, feasible bool, extraCost float64, extraCols []int) {
 	m := s.m
-	// Count covering columns per active row; find essentials.
+	// Render the entry sets as bitmasks once. Neither set changes before
+	// an early return, so the masks stay valid through essential
+	// extraction and column dominance (which only reads active via
+	// actMask and snapshots its covers up front, exactly like the
+	// pre-flattening slice snapshots did).
+	avMask := maskFromBools(s.avMask, avail)
+	actMask := maskFromBools(s.actMask, active)
+
+	// Count covering columns per active row; find essentials. The count
+	// is a popcount of rowMask[r] ∩ avail; when it is exactly one, the
+	// essential column is the lone surviving bit.
 	for r := 0; r < m.numRows; r++ {
 		if !active[r] {
 			continue
 		}
-		count := 0
-		last := -1
-		for j, ok := range avail {
-			if !ok {
-				continue
-			}
-			if containsSorted(m.cols[j].Rows, r) {
-				count++
-				last = j
-				if count > 1 {
-					break
-				}
-			}
-		}
+		count := popcountAnd(m.rowMask[r], avMask)
 		if count == 0 {
 			return false, false, 0, nil
 		}
 		if count == 1 {
 			// Essential column: must be chosen.
+			j := -1
+			for wi, w := range m.rowMask[r] {
+				if w &= avMask[wi]; w != 0 {
+					j = wi<<6 + bits.TrailingZeros64(w)
+					break
+				}
+			}
 			s.stats.Reductions++
-			extraCols = append(extraCols, last)
-			extraCost += m.cols[last].Weight
-			for _, rr := range m.cols[last].Rows {
+			extraCols = append(extraCols, j)
+			extraCost += m.cols[j].Weight
+			for _, rr := range m.cols[j].Rows {
 				active[rr] = false
 			}
-			avail[last] = false
+			avail[j] = false
 			return true, true, extraCost, extraCols
 		}
 	}
 
 	// Column dominance: drop columns whose active cover is a subset of
-	// another no-heavier column's. O(n² · rows) but instances are small.
-	activeCover := func(j int) []int {
-		var rows []int
-		for _, r := range m.cols[j].Rows {
-			if active[r] {
-				rows = append(rows, r)
-			}
-		}
-		return rows
-	}
+	// another no-heavier column's. The active covers are never
+	// materialized — colMask[j] ∩ actMask is compared word-wise — and
+	// actMask stays a faithful snapshot throughout since this pass only
+	// flips avail bits.
 	type colInfo struct {
-		j    int
-		rows []int
-		w    float64
+		j int
+		w float64
 	}
 	var infos []colInfo
 	for j, ok := range avail {
 		if !ok {
 			continue
 		}
-		rows := activeCover(j)
-		if len(rows) == 0 {
+		if popcountAnd(m.colMask[j], actMask) == 0 {
 			// Useless column in this subproblem.
 			avail[j] = false
 			s.stats.Reductions++
 			changed = true
 			continue
 		}
-		infos = append(infos, colInfo{j: j, rows: rows, w: m.cols[j].Weight})
+		infos = append(infos, colInfo{j: j, w: m.cols[j].Weight})
 	}
 	for _, a := range infos {
 		if !avail[a.j] {
@@ -354,7 +395,7 @@ func (s *bbState) reduce(active, avail []bool) (changed, feasible bool, extraCos
 			// Weights that differ only by float noise are a tie, broken by
 			// index so equal columns do not erase each other.
 			if num.Greater(a.w, b.w) || (num.Eq(a.w, b.w) && a.j > b.j) {
-				if subsetSorted(a.rows, b.rows) {
+				if maskSubsetUnder(m.colMask[a.j], m.colMask[b.j], actMask) {
 					avail[a.j] = false
 					s.stats.Reductions++
 					changed = true
@@ -366,22 +407,17 @@ func (s *bbState) reduce(active, avail []bool) (changed, feasible bool, extraCos
 
 	// Row dominance: if every available column covering row r2 also
 	// covers row r1 (r1's covering set ⊇ r2's), any cover of r2 covers
-	// r1 for free, so r1 can be deactivated.
-	coverOf := func(r int) []int {
-		var cols []int
-		for j, ok := range avail {
-			if ok && containsSorted(m.cols[j].Rows, r) {
-				cols = append(cols, j)
-			}
-		}
-		return cols
-	}
+	// r1 for free, so r1 can be deactivated. The cover sets are
+	// rowMask[r] ∩ avail, snapshotted here (after the column-dominance
+	// drops) by re-rendering avMask; like the pre-flattening version the
+	// snapshot is deliberately not refreshed as rows deactivate.
+	avMask = maskFromBools(s.avMask, avail)
 	var activeRows []int
-	covers := make(map[int][]int)
+	coverCount := make([]int, m.numRows)
 	for r := 0; r < m.numRows; r++ {
 		if active[r] {
 			activeRows = append(activeRows, r)
-			covers[r] = coverOf(r)
+			coverCount[r] = popcountAnd(m.rowMask[r], avMask)
 		}
 	}
 	for _, r1 := range activeRows {
@@ -392,11 +428,11 @@ func (s *bbState) reduce(active, avail []bool) (changed, feasible bool, extraCos
 			if r1 == r2 || !active[r1] || !active[r2] {
 				continue
 			}
-			// Drop r1 when covers[r2] ⊆ covers[r1]; tie-break by index
+			// Drop r1 when covers(r2) ⊆ covers(r1); tie-break by index
 			// so mutually dominating rows do not erase each other.
-			if len(covers[r2]) < len(covers[r1]) ||
-				(len(covers[r2]) == len(covers[r1]) && r2 < r1) {
-				if subsetSorted(covers[r2], covers[r1]) {
+			if coverCount[r2] < coverCount[r1] ||
+				(coverCount[r2] == coverCount[r1] && r2 < r1) {
+				if maskSubsetUnder(m.rowMask[r2], m.rowMask[r1], avMask) {
 					active[r1] = false
 					s.stats.Reductions++
 					changed = true
@@ -431,7 +467,7 @@ func (s *bbState) lowerBound(active, avail []bool) float64 {
 			if !ok {
 				continue
 			}
-			if containsSorted(m.cols[j].Rows, r) && m.cols[j].Weight < minW {
+			if m.covers(j, r) && m.cols[j].Weight < minW {
 				minW = m.cols[j].Weight
 			}
 		}
@@ -448,7 +484,7 @@ func (s *bbState) lowerBound(active, avail []bool) float64 {
 			if !ok {
 				continue
 			}
-			if !containsSorted(m.cols[j].Rows, ri.r) {
+			if !m.covers(j, ri.r) {
 				continue
 			}
 			for _, rr := range m.cols[j].Rows {
@@ -472,7 +508,7 @@ func (s *bbState) hardestRow(active, avail []bool) int {
 		}
 		count := 0
 		for j, ok := range avail {
-			if ok && containsSorted(s.m.cols[j].Rows, r) {
+			if ok && s.m.covers(j, r) {
 				count++
 			}
 		}
@@ -483,21 +519,3 @@ func (s *bbState) hardestRow(active, avail []bool) int {
 	return best
 }
 
-func containsSorted(rows []int, r int) bool {
-	i := sort.SearchInts(rows, r)
-	return i < len(rows) && rows[i] == r
-}
-
-// subsetSorted reports whether a ⊆ b for sorted int slices.
-func subsetSorted(a, b []int) bool {
-	i := 0
-	for _, x := range a {
-		for i < len(b) && b[i] < x {
-			i++
-		}
-		if i >= len(b) || b[i] != x {
-			return false
-		}
-	}
-	return true
-}
