@@ -10,6 +10,7 @@
 //	cdcs -example wan -trace t.json -metrics                # observability on
 //	cdcs -example wan -report rep.json                      # machine-readable outcome
 //	cdcs -example wan -progress                             # NDJSON progress events on stdout
+//	cdcs -example wan -server http://localhost:8080         # submit to a cdcsd daemon
 //	cdcs -version                                           # print version and exit
 //
 // With -timeout the run has anytime semantics: on deadline the flow
@@ -23,6 +24,14 @@
 // (cost, optimality, degradation) that scripts and CI assert against
 // instead of grepping the human-readable output. See
 // docs/OBSERVABILITY.md.
+//
+// With -server the instance is submitted to a cdcsd daemon instead of
+// synthesized in-process: the client retries shed (429) and draining
+// (503) responses with exponential backoff — honoring the daemon's
+// Retry-After hint — up to -retry attempts, polls the job to
+// completion, and prints the daemon's result (also written by -report
+// verbatim). Local-only outputs (-dot, -svg, -json, -trace, -metrics,
+// -progress, -simulate) cannot be combined with -server.
 //
 // The graph JSON schema matches model.ConstraintGraph's MarshalJSON:
 //
@@ -86,6 +95,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the algorithm-counter snapshot after the run")
 	reportPath := flag.String("report", "", "write a machine-readable JSON run summary (cost, optimality, degradation) to this file")
 	progress := flag.Bool("progress", false, "stream synthesis progress events (phase boundaries, enumeration levels, incumbents) as NDJSON on stdout")
+	server := flag.String("server", "", "submit to a cdcsd daemon at this base URL (e.g. http://localhost:8080) instead of synthesizing locally")
+	retry := flag.Int("retry", 5, "with -server: attempts per request when the daemon sheds load (429/503; exponential backoff, Retry-After honored)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -94,6 +105,28 @@ func main() {
 		return
 	}
 	status = serve.NewLogger(os.Stderr, slog.LevelInfo, false)
+
+	if *server != "" {
+		runRemote(remoteFlags{
+			server:    *server,
+			retries:   *retry,
+			graphPath: *graphPath,
+			libPath:   *libPath,
+			example:   *example,
+			solver:    *solver,
+			workers:   *workers,
+			timeout:   *timeout,
+			report:    *reportPath,
+			dot:       *dotPath,
+			svg:       *svgPath,
+			jsonOut:   *jsonPath,
+			trace:     *tracePath,
+			simulate:  *simulate,
+			metrics:   *metrics,
+			progress:  *progress,
+		})
+		return
+	}
 
 	cg, lib, err := loadInputs(*graphPath, *libPath, *example)
 	if err != nil {

@@ -7,7 +7,9 @@
 // Usage:
 //
 //	cdcsd [-addr :8080] [-max-jobs 2] [-retain 64] [-event-buffer 1024]
-//	      [-pprof] [-log-level info] [-version]
+//	      [-data-dir DIR] [-snapshot-every 1024] [-fsync-every 1]
+//	      [-shed-watermarks degrade:shed] [-degraded-timeout 2s]
+//	      [-drain-timeout 10s] [-pprof] [-log-level info] [-version]
 //
 // A job walkthrough:
 //
@@ -16,11 +18,23 @@
 //	curl -sN localhost:8080/v1/jobs/j-000001/events     # SSE replay + tail
 //	curl -s localhost:8080/metrics | grep ucp_incumbents_total
 //
+// With -data-dir the job table is durable: every submission, state
+// transition and result is WAL-logged (and periodically compacted
+// into a snapshot), and a restart — graceful or kill -9 — replays it.
+// Finished jobs come back queryable with their exact results;
+// interrupted jobs are re-queued through the synth pipeline and
+// marked "restarted". Overload is handled in tiers: beyond the
+// degrade watermark jobs are admitted with a tightened timeout budget
+// (the anytime solver returns its best incumbent at the cap), beyond
+// the shed watermark submissions get 429 + Retry-After.
+//
 // Shutdown (SIGINT/SIGTERM) drains gracefully: new submissions get
 // 503, in-flight jobs are canceled cooperatively and finish with their
 // best incumbent as an explicitly degraded result, then the listener
-// closes. See docs/OBSERVABILITY.md for the endpoint and event
-// reference.
+// closes. The drain is bounded by -drain-timeout; jobs still
+// unfinished at the deadline are logged as abandoned (with -data-dir
+// they are re-queued on the next start). See docs/OBSERVABILITY.md
+// for the endpoint and event reference.
 package main
 
 import (
@@ -37,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/durable"
 	"repro/internal/serve"
 )
 
@@ -47,7 +62,12 @@ func main() {
 	eventBuffer := flag.Int("event-buffer", 1024, "per-job progress-event replay ring size")
 	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof (CPU, heap, goroutine profiles)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight jobs to return their degraded results")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight jobs to return their degraded results; jobs still unfinished at the deadline are abandoned (and re-queued on the next start with -data-dir)")
+	dataDir := flag.String("data-dir", "", "durable job-table directory (WAL + snapshots); a restart replays it — finished jobs restored, interrupted jobs re-queued. Empty = in-memory only")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records between snapshot compactions")
+	fsyncEvery := flag.Int("fsync-every", 1, "WAL records per batched fsync (group commit; 1 = sync every record)")
+	shedWatermarks := flag.String("shed-watermarks", "", "tiered admission watermarks as degrade:shed unfinished-job loads (default 2*max-jobs:4*max-jobs)")
+	degradedTimeout := flag.Duration("degraded-timeout", 2*time.Second, "per-job budget cap applied in the degraded admission tier")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -63,15 +83,34 @@ func main() {
 	}
 	log := serve.NewLogger(os.Stderr, level, true)
 
+	var shed serve.ShedConfig
+	if *shedWatermarks != "" {
+		if _, err := fmt.Sscanf(*shedWatermarks, "%d:%d", &shed.DegradeAt, &shed.ShedAt); err != nil {
+			fmt.Fprintf(os.Stderr, "cdcsd: bad -shed-watermarks %q (want degrade:shed, e.g. 8:32): %v\n", *shedWatermarks, err)
+			os.Exit(2)
+		}
+	}
+	shed.DegradedTimeout = *degradedTimeout
+
 	version := buildinfo.Version()
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		MaxConcurrent: *maxJobs,
 		MaxJobs:       *retain,
 		EventBuffer:   *eventBuffer,
 		EnablePprof:   *enablePprof,
 		Logger:        log,
 		Version:       version,
+		DataDir:       *dataDir,
+		Durable: durable.Options{
+			FsyncEvery:    *fsyncEvery,
+			SnapshotEvery: *snapshotEvery,
+		},
+		Shed: shed,
 	})
+	if err != nil {
+		log.Error("startup failed", "error", err.Error())
+		os.Exit(1)
+	}
 
 	// Listen before logging "ready" so /readyz can only succeed once
 	// connections are actually being accepted.
@@ -90,6 +129,7 @@ func main() {
 		"addr", ln.Addr().String(),
 		"max_jobs", *maxJobs,
 		"retain", *retain,
+		"data_dir", *dataDir,
 		"pprof", *enablePprof,
 	)
 
@@ -112,7 +152,15 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Warn("drain incomplete", "error", err.Error())
+		// The bounded drain expired with work still in flight: name
+		// every abandoned job. With -data-dir they are re-queued on
+		// the next start; without it they are simply lost.
+		abandoned := srv.Unfinished()
+		log.Warn("drain incomplete; abandoning jobs at the deadline",
+			"error", err.Error(),
+			"abandoned", len(abandoned),
+			"job_ids", fmt.Sprint(abandoned),
+		)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Warn("http shutdown", "error", err.Error())

@@ -1,0 +1,206 @@
+// Package faultfs is the fault-injection seam under the durable WAL:
+// a minimal filesystem interface covering exactly the operations the
+// write-ahead log performs, a passthrough implementation over the os
+// package, and a Faulty wrapper that fails — or stalls — write-class
+// operations starting at the Nth one. Failing "from op N onward"
+// models a crash: once the disk dies at a kill point, nothing after
+// it persists either, which is what crash-recovery tests sweep. An
+// injectable Clock rides along so durability timestamps and serve
+// job lifetimes are deterministic under test.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error every injected fault returns; tests match
+// it with errors.Is to tell injected failures from real ones.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS is the slice of filesystem behavior the WAL needs. Methods map
+// 1:1 onto the os package; OS() returns the real thing.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+}
+
+// File is the open-file surface the WAL uses: append writes, fsync,
+// close.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Faulty wraps an FS and injects failures into write-class operations
+// (MkdirAll, OpenFile, Rename, Remove, Write, Sync). Operations are
+// numbered from 1 in call order across the whole FS; once the
+// configured kill point is reached every later write-class operation
+// fails too, like a disk that died mid-run. Read-class operations
+// (ReadFile) never fail — recovery reads the surviving bytes.
+type Faulty struct {
+	inner FS
+
+	mu       sync.Mutex
+	ops      int64
+	failFrom int64 // 1-based op index; 0 = never fail
+	partial  bool  // the op at the kill point writes half its bytes first
+	stall    func(op string)
+}
+
+// NewFaulty wraps inner (nil means the real OS) with no fault armed.
+func NewFaulty(inner FS) *Faulty {
+	if inner == nil {
+		inner = OS()
+	}
+	return &Faulty{inner: inner}
+}
+
+// FailFrom arms the fault: write-class operation number n (1-based)
+// and every one after it fail with ErrInjected. With partial set, the
+// Write at the kill point first writes half its bytes — a torn
+// record, the shape a real crash leaves behind. n <= 0 disarms.
+func (f *Faulty) FailFrom(n int64, partial bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failFrom = n
+	f.partial = partial
+}
+
+// Stall registers a hook called with the operation name before every
+// write-class operation; tests use it to block or delay writes.
+func (f *Faulty) Stall(hook func(op string)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stall = hook
+}
+
+// Ops reports how many write-class operations have been attempted.
+func (f *Faulty) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// step counts one write-class op and reports whether it must fail and
+// whether this op sits exactly at the kill point (for partial writes).
+func (f *Faulty) step(op string) (fail, atKill bool) {
+	f.mu.Lock()
+	f.ops++
+	fail = f.failFrom > 0 && f.ops >= f.failFrom
+	atKill = fail && f.ops == f.failFrom && f.partial
+	stall := f.stall
+	f.mu.Unlock()
+	if stall != nil {
+		stall(op)
+	}
+	return fail, atKill
+}
+
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	if fail, _ := f.step("mkdirall"); fail {
+		return ErrInjected
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if fail, _ := f.step("openfile"); fail {
+		return nil, ErrInjected
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if fail, _ := f.step("rename"); fail {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if fail, _ := f.step("remove"); fail {
+		return ErrInjected
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+type faultyFile struct {
+	f     *Faulty
+	inner File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	fail, atKill := ff.f.step("write")
+	if !fail {
+		return ff.inner.Write(p)
+	}
+	if atKill && len(p) > 1 {
+		// The dying write lands half its bytes: a torn tail record.
+		n, _ := ff.inner.Write(p[:len(p)/2])
+		return n, ErrInjected
+	}
+	return 0, ErrInjected
+}
+
+func (ff *faultyFile) Sync() error {
+	if fail, _ := ff.f.step("sync"); fail {
+		return ErrInjected
+	}
+	return ff.inner.Sync()
+}
+
+// Close never injects: a crashed process's descriptors close anyway,
+// and recovery depends only on what reached the file.
+func (ff *faultyFile) Close() error { return ff.inner.Close() }
+
+// Clock is an injectable, manually-advanced clock for deterministic
+// timestamp tests. The zero value starts at the Unix epoch.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock returns a clock frozen at t.
+func NewClock(t time.Time) *Clock { return &Clock{t: t} }
+
+// Now returns the current frozen instant.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}

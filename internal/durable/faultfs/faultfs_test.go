@@ -1,0 +1,111 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFailFromKillsEverythingAfter(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(nil)
+	f.FailFrom(3, false)
+
+	if err := f.MkdirAll(filepath.Join(dir, "d"), 0o755); err != nil { // op 1
+		t.Fatalf("op 1 should succeed: %v", err)
+	}
+	file, err := f.OpenFile(filepath.Join(dir, "d", "f"), os.O_CREATE|os.O_WRONLY, 0o644) // op 2
+	if err != nil {
+		t.Fatalf("op 2 should succeed: %v", err)
+	}
+	if _, err := file.Write([]byte("x")); !errors.Is(err, ErrInjected) { // op 3: kill point
+		t.Fatalf("op 3 = %v, want ErrInjected", err)
+	}
+	if err := file.Sync(); !errors.Is(err, ErrInjected) { // op 4: still dead
+		t.Fatalf("op 4 = %v, want ErrInjected (disk stays dead)", err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatalf("close must never inject: %v", err)
+	}
+	if got := f.Ops(); got != 4 {
+		t.Errorf("Ops() = %d, want 4", got)
+	}
+}
+
+func TestPartialWriteTearsTheRecord(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(nil)
+	path := filepath.Join(dir, "f")
+	file, err := f.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.FailFrom(2, true)
+	if _, err := file.Write([]byte("0123456789")); !errors.Is(err, ErrInjected) { // op 2
+		t.Fatalf("write = %v, want ErrInjected", err)
+	}
+	_ = file.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Errorf("file holds %q, want the torn half %q", data, "01234")
+	}
+}
+
+func TestReadsNeverFail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("survivor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(nil)
+	f.FailFrom(1, false)
+	data, err := f.ReadFile(path)
+	if err != nil || string(data) != "survivor" {
+		t.Errorf("ReadFile = %q, %v; recovery reads must bypass the fault", data, err)
+	}
+}
+
+func TestStallHookSeesEveryWriteOp(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(nil)
+	var ops []string
+	f.Stall(func(op string) { ops = append(ops, op) })
+	file, err := f.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := file.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"openfile", "write", "sync"}
+	if len(ops) != len(want) {
+		t.Fatalf("hook saw %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0).UTC()
+	c := NewClock(t0)
+	if !c.Now().Equal(t0) {
+		t.Errorf("Now() = %v, want %v", c.Now(), t0)
+	}
+	if got := c.Advance(3 * time.Second); !got.Equal(t0.Add(3 * time.Second)) {
+		t.Errorf("Advance = %v, want +3s", got)
+	}
+	if !c.Now().Equal(t0.Add(3 * time.Second)) {
+		t.Errorf("Now() after Advance = %v", c.Now())
+	}
+}

@@ -14,11 +14,12 @@ import (
 // directions: an undocumented metric and a documented-but-gone metric
 // both fail. It drives one server through a successful wan job, a
 // failing job and a rejected submission so every serve/* counter is
-// genuinely registered by its real code path, then snapshots the
-// shared registry (which a full exact run populates with every
-// algorithm counter).
+// genuinely registered by its real code path — with a data dir, so
+// the durable/wal/* instruments are registered by a real store too —
+// then snapshots the shared registry (which a full exact run
+// populates with every algorithm counter).
 func TestMetricCatalogMatchesDocs(t *testing.T) {
-	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxJobs: 1})
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxJobs: 1, DataDir: t.TempDir()})
 
 	// Success path: registers all merging/synth/ucp/p2p counters plus
 	// the serve submission/completion/duration instruments.

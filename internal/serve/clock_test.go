@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/durable/faultfs"
+)
+
+// TestInjectedClockDeterministicLifetimes: with a frozen injected
+// clock every job timestamp — created, started, finished — is exactly
+// the frozen instant, and the job-duration histogram records an exact
+// zero. Before the clock seam, serve called time.Now directly and
+// lifetime assertions could only be approximate.
+func TestInjectedClockDeterministicLifetimes(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0).UTC()
+	clock := faultfs.NewClock(t0)
+	srv, ts := newTestServer(t, Config{Now: clock.Now})
+
+	j, code := submit(t, ts, `{"example":"wan","options":{"workers":1}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	fin := waitJob(t, ts, j.ID)
+	if fin.State != StateDone {
+		t.Fatalf("state = %q, want done", fin.State)
+	}
+	if want := t0.Format(time.RFC3339Nano); fin.Created != want {
+		t.Errorf("created = %q, want the frozen instant %q", fin.Created, want)
+	}
+
+	job := srv.getJob(j.ID)
+	job.mu.Lock()
+	started, finished := job.started, job.finished
+	job.mu.Unlock()
+	if !started.Equal(t0) || !finished.Equal(t0) {
+		t.Errorf("started = %v finished = %v, want both frozen at %v", started, finished, t0)
+	}
+
+	// Zero elapsed wall time lands in the first duration bucket.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte("serve_job_duration_ms_bucket{le=\"1\"} 1\n"); !bytes.Contains(body, want) {
+		t.Errorf("/metrics missing %q (frozen clock must record an exact zero duration)", want)
+	}
+}
+
+// TestClockAdvanceSeparatesTimestamps: advancing the clock between
+// lifecycle stages is visible in the stored timestamps.
+func TestClockAdvanceSeparatesTimestamps(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0).UTC()
+	clock := faultfs.NewClock(t0)
+
+	// The start hook runs strictly after started is stamped and before
+	// the job can finish, so advancing the clock there splits the
+	// lifetime deterministically: created = started = t0, finished =
+	// t0 + 1h.
+	testJobStartHook = func(j *Job) { clock.Advance(time.Hour) }
+	defer func() { testJobStartHook = nil }()
+
+	srv, ts := newTestServer(t, Config{Now: clock.Now})
+	j, _ := submit(t, ts, `{"example":"wan","options":{"workers":1}}`)
+	fin := waitJob(t, ts, j.ID)
+	if fin.State != StateDone {
+		t.Fatalf("state = %q, want done", fin.State)
+	}
+
+	job := srv.getJob(j.ID)
+	job.mu.Lock()
+	created, started, finished := job.created, job.started, job.finished
+	job.mu.Unlock()
+	if !created.Equal(t0) || !started.Equal(t0) {
+		t.Errorf("created = %v started = %v, want both %v", created, started, t0)
+	}
+	if want := t0.Add(time.Hour); !finished.Equal(want) {
+		t.Errorf("finished = %v, want exactly %v", finished, want)
+	}
+}

@@ -75,6 +75,22 @@ type Job struct {
 	ID       string
 	Workload string
 
+	// now is the server's clock, injected for deterministic
+	// job-lifetime tests.
+	now func() time.Time
+	// restarted marks a job the daemon re-queued (or restored) after
+	// replaying a crash-interrupted run.
+	restarted bool
+	// admission is the tier the job was admitted at (TierDegrade
+	// only; the common accepted tier is left empty in JSON).
+	admission string
+	// effTimeout, when set, caps the job's synthesis budget — the
+	// degrade tier's tightened deadline.
+	effTimeout time.Duration
+	// specRaw preserves the submitted spec verbatim for snapshot
+	// compaction of restored jobs (whose req was never re-decoded).
+	specRaw json.RawMessage
+
 	mu       sync.Mutex
 	state    string
 	created  time.Time
@@ -93,13 +109,18 @@ type Job struct {
 
 // jobJSON is the GET /v1/jobs/{id} shape.
 type jobJSON struct {
-	ID       string  `json:"id"`
-	Workload string  `json:"workload"`
-	State    string  `json:"state"`
-	Created  string  `json:"created"`
-	Error    string  `json:"error,omitempty"`
-	Result   *Result `json:"result,omitempty"`
-	Links    links   `json:"links"`
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	State    string `json:"state"`
+	Created  string `json:"created"`
+	// Restarted marks a job that was re-queued (or restored) from the
+	// durable log after a daemon restart.
+	Restarted bool `json:"restarted,omitempty"`
+	// Admission reports a non-default admission tier ("degraded").
+	Admission string  `json:"admission,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Result    *Result `json:"result,omitempty"`
+	Links     links   `json:"links"`
 }
 
 type links struct {
@@ -111,12 +132,14 @@ func (j *Job) json() jobJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobJSON{
-		ID:       j.ID,
-		Workload: j.Workload,
-		State:    j.state,
-		Created:  j.created.UTC().Format(time.RFC3339Nano),
-		Error:    j.errMsg,
-		Result:   j.result,
+		ID:        j.ID,
+		Workload:  j.Workload,
+		State:     j.state,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+		Restarted: j.restarted,
+		Admission: j.admission,
+		Error:     j.errMsg,
+		Result:    j.result,
 		Links: links{
 			Self:   "/v1/jobs/" + j.ID,
 			Events: "/v1/jobs/" + j.ID + "/events",
@@ -130,9 +153,9 @@ func (j *Job) setState(state string) {
 	j.state = state
 	switch state {
 	case StateRunning:
-		j.started = time.Now()
+		j.started = j.now()
 	case StateDone, StateFailed:
-		j.finished = time.Now()
+		j.finished = j.now()
 	}
 }
 
@@ -209,12 +232,31 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(s.shed.RetryAfter)))
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	if !s.evictLocked() {
+	// Tiered admission: accept at full budget, accept with a
+	// tightened budget, or shed — decided by the unfinished-job load
+	// against the watermarks, before any table mutation.
+	tier, load := s.tierLocked()
+	if tier == TierShed {
+		s.mu.Unlock()
+		s.reg.Counter("serve/shed/" + TierShed).Add(1)
+		s.log.Warn("job shed",
+			"tier", TierShed, "load", load, "shed_at", s.shed.ShedAt,
+			"workload", workload)
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(s.shed.RetryAfter)))
+		httpError(w, http.StatusTooManyRequests,
+			"overloaded: %d unfinished jobs at or above the shed watermark %d; retry later",
+			load, s.shed.ShedAt)
+		return
+	}
+	evicted, ok := s.evictLocked()
+	if !ok {
 		s.mu.Unlock()
 		s.reg.Counter("serve/jobs_rejected").Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(s.shed.RetryAfter)))
 		httpError(w, http.StatusTooManyRequests,
 			"job table full (%d jobs, none finished)", s.cfg.MaxJobs)
 		return
@@ -223,22 +265,34 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	j := &Job{
 		ID:       fmt.Sprintf("j-%06d", s.nextID),
 		Workload: workload,
+		now:      s.now,
 		state:    StateQueued,
-		created:  time.Now(),
+		created:  s.now(),
 		events:   obs.NewEvents(s.cfg.EventBuffer, nil),
 		done:     make(chan struct{}),
 		req:      req,
 		cg:       cg,
 		lib:      lib,
 	}
+	if tier == TierDegrade {
+		j.admission = TierDegrade
+		j.effTimeout = s.shed.DegradedTimeout
+	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	s.active++
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	s.reg.Counter("serve/shed/" + tier).Add(1)
 	s.reg.Counter("serve/jobs_submitted").Add(1)
+	if evicted != "" {
+		s.persistEvict(evicted)
+	}
+	s.persistJob(j)
 	s.log.Info("job submitted",
-		"job_id", j.ID, "workload", j.Workload, "queue_cap", s.cfg.MaxConcurrent)
+		"job_id", j.ID, "workload", j.Workload, "tier", tier, "load", load,
+		"queue_cap", s.cfg.MaxConcurrent)
 	go s.runJob(j)
 	writeJSON(w, http.StatusAccepted, j.json())
 }
@@ -251,10 +305,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 var testJobStartHook func(j *Job)
 
 // evictLocked makes room for one more job, dropping finished jobs
-// oldest-first. It reports whether the table has room.
-func (s *Server) evictLocked() bool {
+// oldest-first. It reports whether the table has room, and the ID it
+// evicted (if any) so the caller can log the eviction to the WAL
+// after releasing s.mu.
+func (s *Server) evictLocked() (evicted string, ok bool) {
 	if len(s.jobs) < s.cfg.MaxJobs {
-		return true
+		return "", true
 	}
 	for i, id := range s.order {
 		j := s.jobs[id]
@@ -265,10 +321,10 @@ func (s *Server) evictLocked() bool {
 		if st == StateDone || st == StateFailed {
 			delete(s.jobs, id)
 			s.order = append(s.order[:i], s.order[i+1:]...)
-			return true
+			return id, true
 		}
 	}
-	return false
+	return "", false
 }
 
 // runJob owns a job goroutine: wait for a concurrency slot, run the
@@ -279,6 +335,11 @@ func (s *Server) runJob(j *Job) {
 	defer s.wg.Done()
 	defer close(j.done)
 	defer j.events.Close()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}()
 
 	log := s.log.With("job_id", j.ID, "workload", j.Workload)
 	select {
@@ -290,11 +351,15 @@ func (s *Server) runJob(j *Job) {
 		j.mu.Unlock()
 		j.setState(StateFailed)
 		s.reg.Counter("serve/jobs_failed").Add(1)
+		// Deliberately not persisted as failed: in the durable log the
+		// job stays queued, so the next start re-queues it instead of
+		// fossilizing a shutdown race as a permanent failure.
 		log.Warn("job aborted", "reason", "drain before start")
 		return
 	}
 
 	j.setState(StateRunning)
+	s.persistState(j, StateRunning)
 	if testJobStartHook != nil {
 		testJobStartHook(j)
 	}
@@ -327,16 +392,23 @@ func (s *Server) runJob(j *Job) {
 	if ro.TimeoutMs > 0 {
 		opt.Timeout = time.Duration(ro.TimeoutMs) * time.Millisecond
 	}
+	// The degrade tier tightens the budget: the anytime solver then
+	// returns its best incumbent at the cap instead of running long.
+	if j.effTimeout > 0 && (opt.Timeout == 0 || opt.Timeout > j.effTimeout) {
+		opt.Timeout = j.effTimeout
+		log.Info("degraded admission budget applied", "timeout", opt.Timeout.String())
+	}
 
-	start := time.Now()
+	start := s.now()
 	ig, rep, err := cdcs.SynthesizeContext(s.runCtx, j.cg, j.lib, opt)
 	s.reg.Histogram("serve/job_duration_ms", 1, 10, 100, 1_000, 10_000).
-		Record(time.Since(start).Milliseconds())
+		Record(s.now().Sub(start).Milliseconds())
 	if err != nil {
 		j.mu.Lock()
 		j.errMsg = err.Error()
 		j.mu.Unlock()
 		j.setState(StateFailed)
+		s.persistResult(j)
 		s.reg.Counter("serve/jobs_failed").Add(1)
 		log.Error("job failed", "error", err.Error())
 		return
@@ -366,6 +438,7 @@ func (s *Server) runJob(j *Job) {
 	j.result = res
 	j.mu.Unlock()
 	j.setState(StateDone)
+	s.persistResult(j)
 	s.reg.Counter("serve/jobs_completed").Add(1)
 	log.Info("job done",
 		"cost", res.Cost,

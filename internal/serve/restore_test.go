@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestCrashRecovery is the end-to-end durability property at the serve
+// layer: run a daemon with a data dir, let one job finish and kill the
+// store while a second is mid-run, garble the WAL tail, then bring up
+// a second daemon on the same directory. The finished job must come
+// back with a byte-identical result and a clean synthetic SSE stream;
+// the interrupted job must be re-queued, marked restarted, and re-run
+// to completion; the torn tail must be skipped and counted.
+func TestCrashRecovery(t *testing.T) {
+	const body = `{"example":"wan","options":{"workers":1}}`
+	dir := t.TempDir()
+
+	// Park every job that starts while parking is enabled; the first
+	// job runs unhindered so it can finish before the crash.
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	releaseAll := func() { releaseOnce.Do(func() { close(release) }) }
+	defer releaseAll()
+	started := make(chan string, 8)
+	var hookCalls int32
+	testJobStartHook = func(j *Job) {
+		if atomic.AddInt32(&hookCalls, 1) == 1 {
+			return
+		}
+		started <- j.ID
+		<-release
+	}
+	defer func() { testJobStartHook = nil }()
+
+	srv1, err := New(Config{MaxConcurrent: 1, DataDir: dir, Logger: discardLogger()})
+	if err != nil {
+		t.Fatalf("first daemon: %v", err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	j1, code := submit(t, ts1, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 1 status = %d", code)
+	}
+	fin1 := waitJob(t, ts1, j1.ID)
+	if fin1.State != StateDone {
+		t.Fatalf("job 1 state = %q, want done", fin1.State)
+	}
+	result1 := rawResult(t, ts1.URL, j1.ID)
+
+	j2, code := submit(t, ts1, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 2 status = %d", code)
+	}
+	if id := <-started; id != j2.ID {
+		t.Fatalf("running job is %s, want %s", id, j2.ID)
+	}
+
+	// kill -9 the persistence mid-run: everything after this instant is
+	// lost, so job 2's completion below never reaches the WAL.
+	srv1.store.Crash()
+	releaseAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Drain(ctx); err != nil {
+		t.Fatalf("drain first daemon: %v", err)
+	}
+	ts1.Close()
+
+	// The torn tail a real crash leaves behind.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"result","id":"j-0000`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	// Second daemon, same directory. Jobs must re-run unparked.
+	testJobStartHook = nil
+	srv2, ts2 := newTestServer(t, Config{MaxConcurrent: 1, DataDir: dir})
+
+	if got := srv2.Registry().Snapshot().CounterMap()["durable/wal/replay_skipped"]; got != 1 {
+		t.Errorf("durable/wal/replay_skipped = %d, want 1 (the torn tail)", got)
+	}
+
+	// Finished job: restored, byte-identical result, not marked
+	// restarted (it never re-ran).
+	rj1, code := getJobStatus(t, ts2.URL, j1.ID)
+	if code != http.StatusOK || rj1.State != StateDone {
+		t.Fatalf("restored job 1 = %+v (status %d), want done", rj1, code)
+	}
+	if rj1.Restarted {
+		t.Error("restored finished job must not be marked restarted")
+	}
+	if got := rawResult(t, ts2.URL, j1.ID); string(got) != string(result1) {
+		t.Errorf("restored result differs from the original:\n  before: %s\n  after:  %s", result1, got)
+	}
+
+	// Interrupted job: re-queued, marked restarted, re-runs to done.
+	rj2 := waitJob(t, ts2, j2.ID)
+	if rj2.State != StateDone {
+		t.Fatalf("re-queued job 2 state = %q (error %q), want done", rj2.State, rj2.Error)
+	}
+	if !rj2.Restarted {
+		t.Error("re-queued job must report restarted: true")
+	}
+
+	// SSE replay of the restored finished job: a synthetic but
+	// contiguous, cleanly-terminated stream.
+	checkRestoredStream(t, ts2, j1.ID)
+	// SSE replay of the re-run job: the full real stream.
+	resp, err := http.Get(ts2.URL + "/v1/jobs/" + j2.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEventStream(t, readSSE(t, resp.Body))
+	resp.Body.Close()
+}
+
+// checkRestoredStream asserts the synthetic stream of a restored
+// finished job: contiguous from seq 1, run_start first, run_end last,
+// and the stream terminates on its own (readSSE returns).
+func checkRestoredStream(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp.Body)
+	if len(events) < 2 {
+		t.Fatalf("restored stream has %d events, want at least run_start + run_end", len(events))
+	}
+	for i, e := range events {
+		if want := int64(i + 1); e.id != want || e.ev.Seq != want {
+			t.Fatalf("restored stream event %d: id=%d seq=%d, want both %d", i, e.id, e.ev.Seq, want)
+		}
+	}
+	if events[0].ev.Type != obs.EventRunStart {
+		t.Errorf("restored stream starts with %q, want run_start", events[0].ev.Type)
+	}
+	if last := events[len(events)-1].ev.Type; last != obs.EventRunEnd {
+		t.Errorf("restored stream ends with %q, want run_end", last)
+	}
+}
+
+// rawResult fetches a job and returns its "result" JSON verbatim —
+// the byte-identity probe.
+func rawResult(t *testing.T, url, id string) json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Result) == 0 {
+		t.Fatalf("job %s has no result", id)
+	}
+	return env.Result
+}
+
+// TestRestoreRespectsRetention: more finished jobs in the WAL than
+// MaxJobs must restore to exactly MaxJobs, dropping the oldest.
+func TestRestoreRespectsRetention(t *testing.T) {
+	const body = `{"example":"wan","options":{"workers":1}}`
+	dir := t.TempDir()
+
+	srv1, err := New(Config{MaxConcurrent: 1, MaxJobs: 8, DataDir: dir, Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, code := submit(t, ts1, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d status = %d", i, code)
+		}
+		waitJob(t, ts1, j.ID)
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv1.Drain(ctx)
+	ts1.Close()
+
+	// A tighter retention on restart keeps only the newest finished.
+	_, ts2 := newTestServer(t, Config{MaxConcurrent: 1, MaxJobs: 1, DataDir: dir})
+	if _, code := getJobStatus(t, ts2.URL, ids[0]); code != http.StatusNotFound {
+		t.Errorf("oldest job survived a MaxJobs=1 restore (status %d), want 404", code)
+	}
+	if got, code := getJobStatus(t, ts2.URL, ids[2]); code != http.StatusOK || got.State != StateDone {
+		t.Errorf("newest job = %+v (status %d), want done", got, code)
+	}
+
+	// New submissions must not collide with replayed IDs.
+	j, code := submit(t, ts2, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("post-restore submit status = %d", code)
+	}
+	for _, old := range ids {
+		if j.ID == old {
+			t.Fatalf("post-restore job reused replayed ID %s", j.ID)
+		}
+	}
+	waitJob(t, ts2, j.ID)
+}

@@ -26,16 +26,28 @@
 // cancellation: Drain cancels the run context and every in-flight job
 // returns its best incumbent as an explicitly degraded result instead
 // of being killed.
+//
+// With Config.DataDir the job table is durable (internal/durable): a
+// write-ahead log records every submission, state transition and
+// result, and New replays it — finished jobs are restored queryable
+// with byte-identical results and a synthetic SSE history,
+// interrupted jobs are re-queued through the synth pipeline and
+// marked restarted. Admission is tiered (shed.go): at the degrade
+// watermark new jobs get a tightened timeout budget, at the shed
+// watermark they get 429 + Retry-After, and every decision is counted
+// under serve/shed/* and logged.
 package serve
 
 import (
 	"context"
+	"errors"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 )
 
@@ -60,15 +72,37 @@ type Config struct {
 	Logger *slog.Logger
 	// Version is reported in /healthz and the startup log.
 	Version string
+	// DataDir enables durable job persistence: the job table is
+	// WAL-logged and snapshotted there, and startup replays it —
+	// finished jobs are restored for GET /v1/jobs and SSE replay,
+	// interrupted ones are re-queued and marked restarted. Empty
+	// means in-memory only.
+	DataDir string
+	// Durable tunes the WAL (fsync batching, snapshot cadence,
+	// injected filesystem/clock). Registry and Source are wired by
+	// the server.
+	Durable durable.Options
+	// Shed sets the tiered load-shedding watermarks; the zero value
+	// derives them from MaxConcurrent.
+	Shed ShedConfig
+	// Now is the server's clock (job timestamps, durations); nil
+	// means time.Now. Tests inject a frozen clock for deterministic
+	// job lifetimes.
+	Now func() time.Time
 }
 
 // Server is the cdcsd HTTP front end. Build with New, mount Handler,
 // and call Drain on shutdown.
 type Server struct {
-	cfg Config
-	log *slog.Logger
-	reg *obs.Registry
-	mux *http.ServeMux
+	cfg  Config
+	log  *slog.Logger
+	reg  *obs.Registry
+	mux  *http.ServeMux
+	now  func() time.Time
+	shed ShedConfig
+
+	// store persists the job table; nil without Config.DataDir.
+	store *durable.Store
 
 	// runCtx parents every job; Drain cancels it so in-flight
 	// synthesis degrades to its incumbent and returns promptly.
@@ -83,11 +117,15 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string // insertion order, for listing and eviction
 	nextID   int
+	active   int // unfinished jobs (queued + running): the shed load
 	draining bool
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. With Config.DataDir set it
+// opens (or creates) the durable store and replays it — restoring
+// finished jobs and re-queuing interrupted ones — before serving;
+// only a data directory that cannot be opened fails construction.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
 	}
@@ -97,19 +135,45 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		log:       cfg.Logger,
 		reg:       obs.NewRegistry(),
 		mux:       http.NewServeMux(),
+		now:       cfg.Now,
+		shed:      cfg.Shed.normalize(cfg.MaxConcurrent),
 		runCtx:    ctx,
 		cancelRun: cancel,
 		jobs:      make(map[string]*Job),
 	}
 	s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	// Register the admission counters eagerly so /metrics (and the
+	// catalog-drift test) always expose the full tier split.
+	for _, tier := range []string{TierAccept, TierDegrade, TierShed} {
+		s.reg.Counter("serve/shed/" + tier)
+	}
 	s.routes()
-	return s
+	if cfg.DataDir != "" {
+		opts := cfg.Durable
+		opts.Registry = s.reg
+		opts.Logger = s.log
+		if opts.Now == nil {
+			opts.Now = s.now
+		}
+		opts.Source = s.snapshotTable
+		store, replay, err := durable.Open(cfg.DataDir, opts)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = store
+		s.restore(replay)
+	}
+	return s, nil
 }
 
 // Registry returns the server-wide metrics registry every job
@@ -156,12 +220,37 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Close the store either way: on a clean drain this compacts the
+	// table into the snapshot; on a timed-out drain the WAL keeps the
+	// abandoned jobs as unfinished, so the next start re-queues them.
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && !errors.Is(cerr, durable.ErrClosed) {
+			s.log.Warn("durable store close", "error", cerr.Error())
+		}
+	}
+	return err
+}
+
+// Unfinished lists the IDs of jobs not yet in a terminal state —
+// what a deadline-bounded drain is about to abandon.
+func (s *Server) Unfinished() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			if st := j.State(); st != StateDone && st != StateFailed {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
 }
 
 // statusRecorder captures the response status for the request log.

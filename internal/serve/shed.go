@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"time"
+)
+
+// Admission tiers. Every POST /v1/synthesize lands in exactly one,
+// decided by the unfinished-job load (queued + running) against the
+// shed watermarks; each decision increments its serve/shed/* counter
+// and emits a structured log event.
+const (
+	// TierAccept admits the job at its full requested budget.
+	TierAccept = "accepted"
+	// TierDegrade admits the job with a tightened Timeout budget (the
+	// anytime solver then returns its best incumbent at the cap), so
+	// an overloaded daemon keeps answering — just less exhaustively.
+	TierDegrade = "degraded"
+	// TierShed refuses the job with 429 + Retry-After.
+	TierShed = "shed"
+)
+
+// ShedConfig sets the tiered load-shedding policy. The zero value
+// derives both watermarks from MaxConcurrent.
+type ShedConfig struct {
+	// DegradeAt is the unfinished-job load (queued + running, the
+	// submission included would make load+1) at which new submissions
+	// are admitted degraded. <=0 means 2*MaxConcurrent.
+	DegradeAt int
+	// ShedAt is the load at which new submissions are shed with 429 +
+	// Retry-After. <=0 means 4*MaxConcurrent; always normalized to at
+	// least DegradeAt+1 so the degrade band exists.
+	ShedAt int
+	// DegradedTimeout caps the per-job Timeout budget in the degrade
+	// tier (requests asking for less keep their own). <=0 means 2s.
+	DegradedTimeout time.Duration
+	// RetryAfter is the backoff hint returned with every shed (and
+	// drain) response. <=0 means 1s.
+	RetryAfter time.Duration
+}
+
+// normalize resolves defaults against the concurrency bound.
+func (c ShedConfig) normalize(maxConcurrent int) ShedConfig {
+	if c.DegradeAt <= 0 {
+		c.DegradeAt = 2 * maxConcurrent
+	}
+	if c.ShedAt <= 0 {
+		c.ShedAt = 4 * maxConcurrent
+	}
+	if c.ShedAt <= c.DegradeAt {
+		c.ShedAt = c.DegradeAt + 1
+	}
+	if c.DegradedTimeout <= 0 {
+		c.DegradedTimeout = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// tierLocked classifies the next submission by current load. Caller
+// holds s.mu.
+func (s *Server) tierLocked() (tier string, load int) {
+	load = s.active
+	switch {
+	case load >= s.shed.ShedAt:
+		return TierShed, load
+	case load >= s.shed.DegradeAt:
+		return TierDegrade, load
+	default:
+		return TierAccept, load
+	}
+}
+
+// retryAfterSeconds renders the Retry-After hint (ceiling, min 1s —
+// the header has whole-second resolution).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

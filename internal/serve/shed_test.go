@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTieredLoadShedding pins the exact admission split under a
+// deterministic overload: one concurrency slot, every running job
+// parked, watermarks degrade:2 shed:4. The load (queued + running) is
+// incremented synchronously at submission, so the five submissions
+// land at loads 0,1,2,3,4 → accepted, accepted, degraded, degraded,
+// shed — regardless of goroutine timing.
+func TestTieredLoadShedding(t *testing.T) {
+	const body = `{"example":"wan","options":{"workers":1}}`
+	const degradedBudget = 200 * time.Millisecond
+
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	releaseAll := func() { releaseOnce.Do(func() { close(release) }) }
+	defer releaseAll()
+	testJobStartHook = func(j *Job) { <-release }
+	defer func() { testJobStartHook = nil }()
+
+	srv, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		MaxJobs:       10,
+		Shed:          ShedConfig{DegradeAt: 2, ShedAt: 4, DegradedTimeout: degradedBudget},
+	})
+
+	var jobs []jobJSON
+	for i := 0; i < 4; i++ {
+		j, code := submit(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submission %d status = %d, want 202", i+1, code)
+		}
+		jobs = append(jobs, j)
+	}
+	// Fifth submission: load 4 >= ShedAt → 429 with a Retry-After hint.
+	resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submission status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want %q (default 1s hint)", ra, "1")
+	}
+
+	// The tier split is exact, not approximate.
+	snap := srv.Registry().Snapshot().CounterMap()
+	for name, want := range map[string]int64{
+		"serve/shed/accepted": 2,
+		"serve/shed/degraded": 2,
+		"serve/shed/shed":     1,
+	} {
+		if got := snap[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// Degraded admissions are visible on the job and carry the
+	// tightened budget; full-budget admissions carry neither.
+	for i, j := range jobs {
+		got, code := getJobStatus(t, ts.URL, j.ID)
+		if code != http.StatusOK {
+			t.Fatalf("job %s status = %d", j.ID, code)
+		}
+		wantAdmission := ""
+		if i >= 2 {
+			wantAdmission = TierDegrade
+		}
+		if got.Admission != wantAdmission {
+			t.Errorf("job %d admission = %q, want %q", i+1, got.Admission, wantAdmission)
+		}
+		var wantTimeout time.Duration
+		if i >= 2 {
+			wantTimeout = degradedBudget
+		}
+		if eff := srv.getJob(j.ID).effTimeout; eff != wantTimeout {
+			t.Errorf("job %d effTimeout = %v, want %v", i+1, eff, wantTimeout)
+		}
+	}
+
+	// The new rows render on /metrics under the documented names.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"serve_shed_accepted_total 2\n",
+		"serve_shed_degraded_total 2\n",
+		"serve_shed_shed_total 1\n",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Unpark and let every admitted job finish — the degraded budget is
+	// generous for the wan example, so all four complete.
+	releaseAll()
+	for _, j := range jobs {
+		if fin := waitJob(t, ts, j.ID); fin.State != StateDone {
+			t.Errorf("job %s finished in state %q (error %q), want done", j.ID, fin.State, fin.Error)
+		}
+	}
+}
+
+// TestShedWatermarkDefaults pins the zero-value policy derivation.
+func TestShedWatermarkDefaults(t *testing.T) {
+	c := ShedConfig{}.normalize(3)
+	if c.DegradeAt != 6 || c.ShedAt != 12 {
+		t.Errorf("normalize(3) watermarks = %d:%d, want 6:12", c.DegradeAt, c.ShedAt)
+	}
+	if c.DegradedTimeout != 2*time.Second || c.RetryAfter != time.Second {
+		t.Errorf("normalize(3) budgets = %v/%v, want 2s/1s", c.DegradedTimeout, c.RetryAfter)
+	}
+	// A shed watermark at or below degrade is widened so the degrade
+	// band always exists.
+	c = ShedConfig{DegradeAt: 5, ShedAt: 5}.normalize(1)
+	if c.ShedAt != 6 {
+		t.Errorf("ShedAt = %d, want DegradeAt+1 = 6", c.ShedAt)
+	}
+}
+
+// TestDrainRetryAfter: the drain 503 carries the same backoff hint as
+// a shed 429, so client retry logic handles both identically.
+func TestDrainRetryAfter(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", strings.NewReader(`{"example":"wan"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want %q", ra, "1")
+	}
+}

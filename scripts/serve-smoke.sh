@@ -4,6 +4,10 @@
 # example, follow the job to completion, and assert that the result is
 # optimal, that the SSE stream carries incumbent events, and that
 # /metrics exposes the algorithm counters in Prometheus text format.
+# A second leg proves crash recovery: a daemon with -data-dir is
+# kill -9'd mid-job, restarted on the same directory, and must serve
+# the finished job's result unchanged while re-running the
+# interrupted job marked "restarted".
 # Used by `make serve-smoke` and CI's serve-smoke job. Requires curl;
 # uses no other tooling beyond the Go toolchain and POSIX sh.
 set -eu
@@ -28,15 +32,16 @@ fail() {
 }
 
 # Readiness: poll /readyz until the daemon accepts connections.
-ready=0
-for _ in $(seq 1 50); do
-    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
-        ready=1
-        break
-    fi
-    sleep 0.1
-done
-[ "$ready" = 1 ] || fail "/readyz never became ready"
+wait_ready() {
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    fail "/readyz never became ready"
+}
+wait_ready
 
 # Liveness carries the build version.
 curl -fsS "http://$ADDR/healthz" | grep -q '"status": *"ok"' \
@@ -88,4 +93,83 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 trap - EXIT INT TERM
 
-echo "serve-smoke: OK (job $id optimal, SSE incumbents seen, metrics scraped)"
+# ---- Crash-recovery leg: kill -9 mid-job, restart on the same data dir.
+DATA="$BIN/cdcsd-smoke-data"
+rm -rf "$DATA"
+
+"$BIN/cdcsd" -addr "$ADDR" -log-level debug -data-dir "$DATA" >/dev/null 2>>"$LOG" &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true' EXIT INT TERM
+wait_ready
+
+# Job A finishes before the crash; its result must survive verbatim.
+jobA=$(curl -fsS -X POST "http://$ADDR/v1/synthesize" \
+    -d '{"example":"wan","options":{"workers":2}}')
+idA=$(printf '%s' "$jobA" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$idA" ] || fail "no job id in durable submit response: $jobA"
+state=""
+for _ in $(seq 1 100); do
+    state=$(curl -fsS "http://$ADDR/v1/jobs/$idA" \
+        | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    [ "$state" = done ] && break
+    sleep 0.1
+done
+[ "$state" = done ] || fail "durable job A did not finish (state: $state)"
+costA=$(curl -fsS "http://$ADDR/v1/jobs/$idA" | sed -n 's/.*"cost": *\([0-9.]*\).*/\1/p')
+
+# Job B is the big instance on one worker (~seconds): the kill below
+# lands mid-run, so the restarted daemon must re-queue it.
+jobB=$(curl -fsS -X POST "http://$ADDR/v1/synthesize" \
+    -d '{"example":"mpeg4","options":{"workers":1}}')
+idB=$(printf '%s' "$jobB" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$idB" ] || fail "no job id in durable submit response: $jobB"
+
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+"$BIN/cdcsd" -addr "$ADDR" -log-level debug -data-dir "$DATA" >/dev/null 2>>"$LOG" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+wait_ready
+
+# The finished job must come back queryable with the same result.
+resultA=$(curl -fsS "http://$ADDR/v1/jobs/$idA")
+printf '%s' "$resultA" | grep -q '"state": *"done"' \
+    || fail "finished job A not restored after kill -9: $resultA"
+printf '%s' "$resultA" | grep -q "\"cost\": *$costA" \
+    || fail "restored job A cost changed (want $costA): $resultA"
+# Its SSE replay still serves a complete bracket.
+eventsA=$(curl -fsS -N --max-time 10 "http://$ADDR/v1/jobs/$idA/events")
+printf '%s' "$eventsA" | grep -q '^event: run_start$' || fail "restored SSE has no run_start"
+printf '%s' "$eventsA" | grep -q '^event: run_end$'   || fail "restored SSE has no run_end"
+
+# The interrupted job must re-run to completion, marked restarted.
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -fsS "http://$ADDR/v1/jobs/$idB" \
+        | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    [ "$state" = done ] && break
+    [ "$state" = failed ] && fail "re-queued job B failed: $(curl -fsS "http://$ADDR/v1/jobs/$idB")"
+    sleep 0.1
+done
+[ "$state" = done ] || fail "re-queued job B did not finish (state: $state)"
+curl -fsS "http://$ADDR/v1/jobs/$idB" | grep -q '"restarted": *true' \
+    || fail "re-run job B is not marked restarted"
+
+# The durability and admission instruments are on /metrics.
+metrics=$(curl -fsS "http://$ADDR/metrics")
+printf '%s\n' "$metrics" | grep -Eq '^durable_wal_records_total [0-9]+$' \
+    || fail "/metrics has no durable_wal_records_total sample"
+printf '%s\n' "$metrics" | grep -Eq '^serve_shed_accepted_total [0-9]+$' \
+    || fail "/metrics has no serve_shed_accepted_total sample"
+
+kill "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "restarted daemon did not exit within 10s of SIGTERM"
+    sleep 0.1
+done
+trap - EXIT INT TERM
+
+echo "serve-smoke: OK (job $id optimal, SSE incumbents seen, metrics scraped; crash recovery: $idA restored, $idB re-run)"
