@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 VETTOOL := $(CURDIR)/$(BIN)/cdcsvet
 
-.PHONY: all build test race vet lint tools bench-gate bench-seed bench-alloc trace-example serve-smoke clean
+.PHONY: all build test race vet lint lint-self tools bench-gate bench-seed bench-alloc trace-example serve-smoke clean
 
 all: build test
 
@@ -26,6 +26,12 @@ tools:
 # Run the cdcsvet analyzers over every package, test files included.
 lint: tools
 	$(GO) vet -vettool=$(VETTOOL) ./...
+
+# Hold the analyzer framework to its own rules: the lint tree is part
+# of ./... above, but a dedicated target keeps the self-check visible
+# and runnable in isolation while iterating on an analyzer.
+lint-self: tools
+	$(GO) vet -vettool=$(VETTOOL) ./internal/lint/... ./cmd/cdcsvet/...
 
 # Run the short benchmark suite with algorithm counters and gate it
 # against the committed seed trajectory (BENCH_seed.json): wall time

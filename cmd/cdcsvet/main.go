@@ -1,9 +1,11 @@
-// Command cdcsvet is the repository's static-analysis suite: four
-// go/analysis-style checks (mapiter, floatcmp, ctxflow, errsentinel)
-// enforcing CDCS correctness invariants the type system cannot express
-// — deterministic output order, epsilon-safe cost comparison,
-// end-to-end context propagation, and errors.Is sentinel matching. See
-// docs/LINT.md for the rules and their rationale.
+// Command cdcsvet is the repository's static-analysis suite: seven
+// go/analysis-style checks (mapiter, floatcmp, ctxflow, errsentinel,
+// lockorder, implmut, chanleak) enforcing CDCS correctness invariants
+// the type system cannot express — deterministic output order,
+// epsilon-audited cost comparison, end-to-end context propagation,
+// errors.Is sentinel matching (cross-package via facts), declared lock
+// hierarchies, verify-then-mutate freshness, and leak-free goroutine
+// hand-offs. See docs/LINT.md for the rules and their rationale.
 //
 // Two modes:
 //
@@ -11,11 +13,14 @@
 //	cdcsvet [./...|dir ...]                  # standalone, no cmd/go
 //
 // The first speaks cmd/go's vet-tool protocol (one JSON config per
-// compilation unit, including in-package test files); the second loads
-// and type-checks packages itself, which analyzes non-test sources
-// only. Both exit non-zero when any diagnostic is reported. The suite
-// deliberately supports no suppression comments: a finding is fixed or
-// the rule is changed in code review, never silenced at the call site.
+// compilation unit, including in-package test files) and relays
+// analysis facts between units through vetx files; the second loads
+// and type-checks packages itself, analyzing module-local dependencies
+// first so facts flow in-process, and reports on non-test sources
+// only. Both exit non-zero when any diagnostic is reported. The
+// original four analyzers support no suppression comments; the
+// concurrency-invariant analyzers honor a justified
+// `//cdcsvet:ignore <name> -- why` escape (docs/LINT.md).
 package main
 
 import (
@@ -25,12 +30,14 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/lint"
-	"repro/internal/lint/analysis"
 	"repro/internal/lint/load"
 	"repro/internal/lint/unitchecker"
 )
 
-const version = "v1.0.0"
+// version is hashed into cmd/go's build cache key (-V=full); bumping
+// it invalidates cached vet results, which is required whenever
+// analyzer behavior or the vetx facts format changes.
+const version = "v2.0.0"
 
 func main() {
 	args := os.Args[1:]
@@ -86,20 +93,19 @@ func standalone(patterns []string) int {
 		fmt.Fprintf(os.Stderr, "cdcsvet: %v\n", err)
 		return 1
 	}
-	analyzers := lint.Analyzers()
+	// The runner analyzes module-local dependencies before their
+	// importers, so cross-package facts (sentinel declarations) are
+	// in place when each requested package is checked; diagnostics
+	// are printed only for the requested packages.
+	runner := load.NewRunner(loader, lint.Analyzers())
 	exit := 0
 	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
+		res, err := runner.AnalyzeDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cdcsvet: %v\n", err)
 			return 1
 		}
-		diags, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cdcsvet: %v\n", err)
-			return 1
-		}
-		for _, d := range diags {
+		for _, d := range res.Diagnostics {
 			fmt.Fprintf(os.Stderr, "%s: %s\n", loader.Fset.Position(d.Pos), d.Message)
 			exit = 1
 		}

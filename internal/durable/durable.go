@@ -139,6 +139,11 @@ type Store struct {
 
 	records, fsyncs, skipped, snapshots *obs.CounterHandle
 
+	// mu serializes appends, fsync batching, and compaction. It is
+	// not reentrant, and compaction (which runs under it) calls the
+	// injected source hook — so no internal path may re-acquire it:
+	//
+	//cdcsvet:lockorder Store.mu -> Store.mu
 	mu         sync.Mutex
 	w          faultfs.File
 	pending    int // records appended since the last fsync

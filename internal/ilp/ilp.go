@@ -104,7 +104,7 @@ func (p *Problem) Solve() (Solution, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return p.costs[order[a]] > p.costs[order[b]] })
+	sort.Slice(order, func(a, b int) bool { return num.Stronger(p.costs[order[a]], p.costs[order[b]]) })
 
 	s := &solver{
 		p:        p,
@@ -130,7 +130,7 @@ type solver struct {
 
 func (s *solver) branch(depth int, cost float64, slack, potential []float64) {
 	s.nodes++
-	if cost >= s.bestCost {
+	if num.NoBetter(cost, s.bestCost) {
 		return
 	}
 	// Feasibility: every constraint must still be satisfiable.
@@ -144,7 +144,7 @@ func (s *solver) branch(depth int, cost float64, slack, potential []float64) {
 		}
 	}
 	if satisfied {
-		if cost < s.bestCost {
+		if num.Improves(cost, s.bestCost) {
 			s.bestCost = cost
 			s.bestX = append([]bool(nil), s.x...)
 		}

@@ -29,6 +29,18 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// FactTypes lists a prototype pointer per fact type the analyzer
+	// exports or imports (e.g. new(IsSentinel)). A non-nil list also
+	// marks the analyzer as one the drivers must run on
+	// dependency-only units so its facts reach importing packages.
+	FactTypes []Fact
+	// AllowIgnore opts the analyzer into the
+	// `//cdcsvet:ignore <name> -- <justification>` escape comment.
+	// The original four analyzers keep the no-suppression policy
+	// (docs/LINT.md); the concurrency-invariant analyzers allow a
+	// justified escape because their intra-procedural approximations
+	// can be wrong about code a human has reviewed.
+	AllowIgnore bool
 }
 
 // Pass carries one package's syntax and type information through an
@@ -48,7 +60,9 @@ type Pass struct {
 	// TypesInfo records types and uses for expressions in Files.
 	TypesInfo *types.Info
 
+	facts       *Facts
 	diagnostics []Diagnostic
+	ignores     map[string]bool // "file:line" suppressed for this analyzer (lazily built)
 }
 
 // Diagnostic is one reported finding.
@@ -61,13 +75,52 @@ type Diagnostic struct {
 	Message string
 }
 
-// Reportf records a diagnostic at pos.
+// Reportf records a diagnostic at pos. For analyzers with AllowIgnore,
+// a `//cdcsvet:ignore <name> -- <justification>` comment on the same
+// line or the line above suppresses it; the justification is
+// mandatory — an ignore without one does not suppress.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Analyzer.AllowIgnore && p.ignored(pos) {
+		return
+	}
 	p.diagnostics = append(p.diagnostics, Diagnostic{
 		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ignorePrefix opens the escape comment; the full grammar is
+// `//cdcsvet:ignore <analyzer> -- <justification>`.
+const ignorePrefix = "//cdcsvet:ignore "
+
+// ignored reports whether pos is covered by an escape comment for this
+// analyzer, building the per-pass suppression set on first use.
+func (p *Pass) ignored(pos token.Pos) bool {
+	if p.ignores == nil {
+		p.ignores = map[string]bool{}
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					name, just, ok := strings.Cut(rest, "--")
+					if !ok || strings.TrimSpace(name) != p.Analyzer.Name || strings.TrimSpace(just) == "" {
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					// Cover the comment's own line (trailing form) and
+					// the next line (standalone form above the code).
+					p.ignores[fmt.Sprintf("%s:%d", cp.Filename, cp.Line)] = true
+					p.ignores[fmt.Sprintf("%s:%d", cp.Filename, cp.Line+1)] = true
+				}
+			}
+		}
+	}
+	dp := p.Fset.Position(pos)
+	return p.ignores[fmt.Sprintf("%s:%d", dp.Filename, dp.Line)]
 }
 
 // IsTestFile reports whether pos lies in a _test.go file.
@@ -89,9 +142,37 @@ type Package struct {
 	Info *types.Info
 }
 
+// Result is one package's analysis outcome: its diagnostics plus the
+// fact store the run read from and wrote into.
+type Result struct {
+	// Diagnostics is every finding, in position order.
+	Diagnostics []Diagnostic
+	// Facts is the shared store after the run — imported facts plus
+	// whatever the analyzers exported for this package.
+	Facts *Facts
+}
+
 // Run applies each analyzer to the package and returns all diagnostics
-// in position order.
+// in position order. Facts flow within the run (an analyzer sees the
+// facts it exported for the package's own objects) but are discarded
+// afterwards; drivers that propagate facts across packages use
+// RunPackage with a shared store.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunPackage(pkg, analyzers, NewFacts())
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunPackage applies each analyzer to the package with facts as the
+// cross-package store: analyzers import facts that earlier runs (over
+// dependency packages) put there and export new ones for this
+// package's objects.
+func RunPackage(pkg *Package, analyzers []*Analyzer, facts *Facts) (*Result, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -101,6 +182,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Path:      pkg.Path,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -108,7 +190,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		out = append(out, pass.diagnostics...)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
-	return out, nil
+	return &Result{Diagnostics: out, Facts: facts}, nil
 }
 
 // Inspect walks every file of the pass in depth-first order, calling f

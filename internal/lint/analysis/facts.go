@@ -1,0 +1,196 @@
+// Facts: the cross-package side-channel of the analysis framework.
+//
+// An analyzer that declares FactTypes can attach a Fact to any
+// package-level object of the package under analysis; when a
+// downstream package is analyzed — in the same process (load.Runner)
+// or in a later `go vet` tool invocation (unitchecker) — the fact is
+// visible through ImportObjectFact on the imported object. The wire
+// format is encoding/gob, the same choice x/tools made: facts must
+// survive being written to the vetx file cmd/go threads between
+// compilation units.
+//
+// The store keys facts by (package path, object name, concrete fact
+// type). Only package-level objects can carry facts — that is the only
+// granularity that survives export data, and the only one the suite
+// needs (sentinel error variables). Package paths are normalized by
+// stripping cmd/go's " [pkg.test]" test-variant suffix so a fact
+// exported while vetting the test-augmented variant of a package still
+// matches imports of the plain path.
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a serializable message attached to a package-level object
+// by one analyzer run and consumed by runs over importing packages.
+// Implementations must be pointers to gob-encodable structs; the AFact
+// method is a marker. Implementing fmt.Stringer is recommended — the
+// analysistest fact assertions match against fmt.Sprint(fact).
+type Fact interface {
+	// AFact marks the type as a fact; it is never called.
+	AFact()
+}
+
+// ObjectFact is one (object, fact) pair as stored or enumerated.
+type ObjectFact struct {
+	// PkgPath is the normalized import path of the declaring package.
+	PkgPath string
+	// Object is the package-level object's name.
+	Object string
+	// Fact is the attached fact.
+	Fact Fact
+}
+
+type factKey struct {
+	pkg string
+	obj string
+	typ reflect.Type
+}
+
+// Facts is a fact store shared across the packages of one analysis
+// session: imported facts are merged in, exported facts are added, and
+// the union is what a driver serializes for downstream units.
+type Facts struct {
+	m map[factKey]Fact
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: map[factKey]Fact{}} }
+
+// normPath strips cmd/go's test-variant suffix from an import path:
+// "repro/internal/serve [repro/internal/serve.test]" and the plain
+// "repro/internal/serve" are the same package for fact purposes.
+func normPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// Set records fact for the named object of pkgPath, replacing any
+// existing fact of the same concrete type.
+func (f *Facts) Set(pkgPath, object string, fact Fact) {
+	f.m[factKey{normPath(pkgPath), object, reflect.TypeOf(fact)}] = fact
+}
+
+// Get loads the fact of ptr's concrete type attached to the named
+// object into *ptr and reports whether one was found.
+func (f *Facts) Get(pkgPath, object string, ptr Fact) bool {
+	fact, ok := f.m[factKey{normPath(pkgPath), object, reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(fact).Elem())
+	return true
+}
+
+// All enumerates the store in deterministic (path, object, type name)
+// order.
+func (f *Facts) All() []ObjectFact {
+	out := make([]ObjectFact, 0, len(f.m))
+	for k, v := range f.m {
+		out = append(out, ObjectFact{PkgPath: k.pkg, Object: k.obj, Fact: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PkgPath != out[j].PkgPath {
+			return out[i].PkgPath < out[j].PkgPath
+		}
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return reflect.TypeOf(out[i].Fact).String() < reflect.TypeOf(out[j].Fact).String()
+	})
+	return out
+}
+
+// wireFact is the gob envelope for one stored fact. The Fact field is
+// an interface value, so every concrete fact type must be registered
+// with gob before Encode/Decode — RegisterFactTypes does that from the
+// analyzers' FactTypes declarations.
+type wireFact struct {
+	PkgPath string
+	Object  string
+	Fact    Fact
+}
+
+// Encode serializes the store for a vetx file. The output is
+// deterministic (All's order), so cmd/go's content-hashed caching of
+// vetx files is stable.
+func (f *Facts) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, of := range f.All() {
+		if err := enc.Encode(wireFact{of.PkgPath, of.Object, of.Fact}); err != nil {
+			return nil, fmt.Errorf("encoding fact %s.%s: %w", of.PkgPath, of.Object, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges the facts serialized in data (a vetx file's contents)
+// into the store. Empty input is a valid empty store — that is what
+// the driver writes for units it could not analyze.
+func (f *Facts) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	for {
+		var wf wireFact
+		if err := dec.Decode(&wf); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("decoding facts: %w", err)
+		}
+		f.Set(wf.PkgPath, wf.Object, wf.Fact)
+	}
+}
+
+// RegisterFactTypes registers every FactTypes prototype of the given
+// analyzers with gob. Drivers must call it once before any
+// Encode/Decode; registering the same type repeatedly is harmless.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, proto := range a.FactTypes {
+			gob.Register(proto)
+		}
+	}
+}
+
+// ExportObjectFact attaches fact to obj, which must be a package-level
+// object of the package under analysis. The analyzer must list fact's
+// concrete type in its FactTypes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	p.facts.Set(obj.Pkg().Path(), obj.Name(), fact)
+}
+
+// ImportObjectFact loads the fact of ptr's concrete type attached to
+// obj (by any earlier analysis of obj's package, this one included)
+// into *ptr and reports whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.facts.Get(obj.Pkg().Path(), obj.Name(), ptr)
+}
+
+// AllObjectFacts enumerates every fact visible to the pass.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.All()
+}

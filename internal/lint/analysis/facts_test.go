@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"encoding/gob"
+	"testing"
+)
+
+// markFact is a minimal fact carrying a payload, so the round trip
+// proves values (not just presence) survive the wire.
+type markFact struct{ Note string }
+
+func (*markFact) AFact()           {}
+func (f *markFact) String() string { return "mark(" + f.Note + ")" }
+
+func init() { gob.Register(new(markFact)) }
+
+func TestFactsRoundTrip(t *testing.T) {
+	src := NewFacts()
+	src.Set("repro/internal/durable", "ErrClosed", &markFact{Note: "sentinel"})
+	src.Set("repro/internal/durable", "Torn", &markFact{Note: "torn"})
+	src.Set("repro/internal/serve", "TierShed", &markFact{Note: "tier"})
+
+	data, err := src.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatalf("Encode returned no bytes for a non-empty store")
+	}
+
+	dst := NewFacts()
+	if err := dst.Decode(data); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var got markFact
+	if !dst.Get("repro/internal/durable", "ErrClosed", &got) {
+		t.Fatalf("fact for ErrClosed did not survive the round trip")
+	}
+	if got.Note != "sentinel" {
+		t.Errorf("fact payload = %q, want %q", got.Note, "sentinel")
+	}
+	if all := dst.All(); len(all) != 3 {
+		t.Errorf("decoded store has %d facts, want 3: %v", len(all), all)
+	}
+}
+
+// TestFactsMergeAcrossDecodes mirrors the unitchecker's transitive
+// relay: two dependency vetx payloads decode into one store, and the
+// merged store re-encodes with both.
+func TestFactsMergeAcrossDecodes(t *testing.T) {
+	a := NewFacts()
+	a.Set("p/a", "X", &markFact{Note: "a"})
+	b := NewFacts()
+	b.Set("p/b", "Y", &markFact{Note: "b"})
+	dataA, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode a: %v", err)
+	}
+	dataB, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode b: %v", err)
+	}
+
+	merged := NewFacts()
+	for _, data := range [][]byte{dataA, dataB, nil} { // nil: the empty-vetx path
+		if err := merged.Decode(data); err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+	}
+	if len(merged.All()) != 2 {
+		t.Fatalf("merged store = %v, want 2 facts", merged.All())
+	}
+	again, err := merged.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	third := NewFacts()
+	if err := third.Decode(again); err != nil {
+		t.Fatalf("re-Decode: %v", err)
+	}
+	var got markFact
+	if !third.Get("p/a", "X", &got) || got.Note != "a" {
+		t.Errorf("transitively relayed fact p/a.X lost or corrupted: %v", third.All())
+	}
+}
+
+// TestFactsTestVariantNormalization: facts exported while analyzing a
+// test-augmented package variant must match imports of the plain path.
+func TestFactsTestVariantNormalization(t *testing.T) {
+	f := NewFacts()
+	f.Set("repro/internal/serve [repro/internal/serve.test]", "ErrX", &markFact{Note: "n"})
+	var got markFact
+	if !f.Get("repro/internal/serve", "ErrX", &got) {
+		t.Fatalf("test-variant path was not normalized on Set")
+	}
+	if !f.Get("repro/internal/serve [other.test]", "ErrX", &got) {
+		t.Fatalf("test-variant path was not normalized on Get")
+	}
+}

@@ -11,6 +11,19 @@
 // (double-quoted strings work too; several literals on one line demand
 // several diagnostics on that line, matched in order). A fixture line
 // with no want comment must produce no diagnostic.
+//
+// Facts use the upstream syntax: a declaration line expecting an
+// exported fact carries
+//
+//	// want Name:`regexp`
+//
+// where Name is the declared package-level object and the regexp must
+// match fmt.Sprint of the fact attached to it. Every fact an analyzer
+// exports for a checked package must be asserted — an unasserted fact
+// fails the test, so fixtures document the analyzer's full output.
+// Packages are analyzed with one shared fact store in dependency
+// order, so a fixture package may import a sibling fixture package and
+// observe its facts — the cross-package testdata layout.
 package analysistest
 
 import (
@@ -27,12 +40,14 @@ import (
 	"repro/internal/lint/load"
 )
 
-// Run loads each named package from dir/src and applies the analyzer,
-// failing t on any mismatch between diagnostics and want comments.
+// Run loads each named package from dir/src and applies the analyzer
+// (dependency fixture packages first, sharing one fact store), failing
+// t on any mismatch between diagnostics/facts and want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	root := filepath.Join(dir, "src")
 	loader := load.New(root, "")
+	runner := load.NewRunner(loader, []*analysis.Analyzer{a})
 	for _, pkg := range pkgs {
 		pkgDir := filepath.Join(root, pkg)
 		loaded, err := loader.LoadDir(pkgDir)
@@ -40,13 +55,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 			t.Errorf("%s: loading %s: %v", a.Name, pkg, err)
 			continue
 		}
-		diags, err := analysis.Run(&analysis.Package{
-			Path:  loaded.Path,
-			Fset:  loaded.Fset,
-			Files: loaded.Files,
-			Types: loaded.Types,
-			Info:  loaded.Info,
-		}, []*analysis.Analyzer{a})
+		res, err := runner.Analyze(loaded)
 		if err != nil {
 			t.Errorf("%s: running on %s: %v", a.Name, pkg, err)
 			continue
@@ -56,17 +65,20 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 			t.Errorf("%s: %s: %v", a.Name, pkg, err)
 			continue
 		}
-		check(t, a.Name, loaded.Fset, diags, wants)
+		check(t, a.Name, loaded.Fset, res.Diagnostics, wants)
+		checkFacts(t, a.Name, loaded, res.Facts, wants)
 	}
 }
 
-// want is one expectation parsed from a `// want` comment.
+// want is one expectation parsed from a `// want` comment: a
+// diagnostic when object is empty, an exported fact otherwise.
 type want struct {
-	file string
-	line int
-	re   *regexp.Regexp
-	raw  string
-	hit  bool
+	file   string
+	line   int
+	object string
+	re     *regexp.Regexp
+	raw    string
+	hit    bool
 }
 
 func collectWants(fset *token.FileSet, pkg *analysis.Package) ([]*want, error) {
@@ -79,16 +91,19 @@ func collectWants(fset *token.FileSet, pkg *analysis.Package) ([]*want, error) {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				exprs, err := splitLiterals(strings.TrimSpace(text))
+				exprs, err := splitWants(strings.TrimSpace(text))
 				if err != nil {
 					return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
 				}
 				for _, e := range exprs {
-					re, err := regexp.Compile(e)
+					re, err := regexp.Compile(e.expr)
 					if err != nil {
-						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, e, err)
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, e.expr, err)
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: e})
+					wants = append(wants, &want{
+						file: pos.Filename, line: pos.Line,
+						object: e.object, re: re, raw: e.expr,
+					})
 				}
 			}
 		}
@@ -96,48 +111,75 @@ func collectWants(fset *token.FileSet, pkg *analysis.Package) ([]*want, error) {
 	return wants, nil
 }
 
-// splitLiterals parses a sequence of Go string literals.
-func splitLiterals(s string) ([]string, error) {
-	var out []string
+// wantExpr is one token of a want comment before regexp compilation.
+type wantExpr struct {
+	object string // "" for a diagnostic expectation
+	expr   string
+}
+
+// splitWants parses a sequence of `literal` and `Name:literal` tokens.
+func splitWants(s string) ([]wantExpr, error) {
+	var out []wantExpr
 	for s != "" {
 		s = strings.TrimLeft(s, " \t")
 		if s == "" {
 			break
 		}
-		switch s[0] {
-		case '`':
-			end := strings.IndexByte(s[1:], '`')
-			if end < 0 {
-				return nil, fmt.Errorf("unterminated raw string")
+		var object string
+		if s[0] != '`' && s[0] != '"' {
+			// Fact form: identifier up to the colon, then a literal.
+			i := strings.IndexByte(s, ':')
+			if i <= 0 {
+				return nil, fmt.Errorf("expected string literal or Name:literal at %q", s)
 			}
-			out = append(out, s[1:1+end])
-			s = s[end+2:]
-		case '"':
-			// Find the closing quote, honoring escapes.
-			i := 1
-			for ; i < len(s); i++ {
-				if s[i] == '\\' {
-					i++
-					continue
-				}
-				if s[i] == '"' {
-					break
-				}
-			}
-			if i >= len(s) {
-				return nil, fmt.Errorf("unterminated string")
-			}
-			lit, err := strconv.Unquote(s[:i+1])
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, lit)
+			object = s[:i]
 			s = s[i+1:]
-		default:
-			return nil, fmt.Errorf("expected string literal at %q", s)
+			if s == "" || (s[0] != '`' && s[0] != '"') {
+				return nil, fmt.Errorf("expected string literal after %q:", object)
+			}
 		}
+		lit, rest, err := cutLiteral(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wantExpr{object: object, expr: lit})
+		s = rest
 	}
 	return out, nil
+}
+
+// cutLiteral parses one Go string literal off the front of s.
+func cutLiteral(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		// Find the closing quote, honoring escapes.
+		i := 1
+		for ; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+		}
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated string")
+		}
+		lit, err := strconv.Unquote(s[:i+1])
+		if err != nil {
+			return "", "", err
+		}
+		return lit, s[i+1:], nil
+	default:
+		return "", "", fmt.Errorf("expected string literal at %q", s)
+	}
 }
 
 func check(t *testing.T, name string, fset *token.FileSet, diags []analysis.Diagnostic, wants []*want) {
@@ -145,6 +187,9 @@ func check(t *testing.T, name string, fset *token.FileSet, diags []analysis.Diag
 	// Group wants by (file, line) preserving order for in-order matching.
 	byLine := map[string][]*want{}
 	for _, w := range wants {
+		if w.object != "" {
+			continue
+		}
 		k := fmt.Sprintf("%s:%d", w.file, w.line)
 		byLine[k] = append(byLine[k], w)
 	}
@@ -170,8 +215,45 @@ func check(t *testing.T, name string, fset *token.FileSet, diags []analysis.Diag
 		return wants[i].line < wants[j].line
 	})
 	for _, w := range wants {
-		if !w.hit {
+		if w.object == "" && !w.hit {
 			t.Errorf("%s: missing diagnostic at %s:%d matching %q", name, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// checkFacts matches the facts exported for pkg's own objects against
+// the fact-form wants, both directions.
+func checkFacts(t *testing.T, name string, pkg *analysis.Package, facts *analysis.Facts, wants []*want) {
+	t.Helper()
+	for _, of := range facts.All() {
+		if of.PkgPath != pkg.Path {
+			continue // a dependency's fact; asserted when that package is checked
+		}
+		text := fmt.Sprint(of.Fact)
+		obj := pkg.Types.Scope().Lookup(of.Object)
+		if obj == nil {
+			t.Errorf("%s: fact %q exported for unknown object %s.%s", name, text, of.PkgPath, of.Object)
+			continue
+		}
+		pos := pkg.Fset.Position(obj.Pos())
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.object != of.Object || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected fact at %s:%d: %s:%q", name, pos.Filename, pos.Line, of.Object, text)
+		}
+	}
+	for _, w := range wants {
+		if w.object != "" && !w.hit {
+			t.Errorf("%s: missing fact at %s:%d: %s matching %q", name, w.file, w.line, w.object, w.raw)
 		}
 	}
 }

@@ -1,0 +1,187 @@
+// Package chanleak flags goroutines in the serving stack that send on
+// an unbuffered channel with no escape path. The shape
+//
+//	done := make(chan T)
+//	go func() { ...; done <- result }()
+//
+// leaks the goroutine (and whatever it pins) forever the moment the
+// receiver stops listening — a timed-out HTTP handler, an SSE client
+// that disconnected, a drain that gave up. The serving/durability
+// packages (serve, durable, client) are full of exactly this
+// hand-off topology, and the sanctioned patterns are already in use
+// there: a buffered channel sized for the worst case, `close(ch)`
+// instead of a send, or a send wrapped in a select with a ctx.Done()
+// or default escape. The rule flags any send inside a go-statement
+// function literal whose channel is provably an unbuffered make(chan)
+// from the enclosing function, unless the send sits in a select with
+// an escape clause.
+//
+// A justified `//cdcsvet:ignore chanleak -- why` escape is honored:
+// the analysis is intra-procedural and cannot see a receiver that is
+// structurally guaranteed to outlive the goroutine.
+package chanleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the chanleak check.
+var Analyzer = &analysis.Analyzer{
+	Name:        "chanleak",
+	Doc:         "flags goroutine sends on unbuffered local channels without a select escape in serve/durable/client; blocked sends leak the goroutine",
+	Run:         run,
+	AllowIgnore: true,
+}
+
+// audited is the serving/durability stack: the packages whose
+// goroutines outlive requests and must be shutdown-safe.
+var audited = map[string]bool{
+	"serve":   true,
+	"durable": true,
+	"client":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !audited[analysis.BaseName(pass.Path)] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans one function body: it maps the body's unbuffered
+// make(chan) variables, then audits every go-statement literal's
+// sends against them.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	unbuffered := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isUnbufferedMake(pass, rhs) {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						unbuffered[obj] = true
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						unbuffered[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i >= len(n.Names) {
+					break
+				}
+				if isUnbufferedMake(pass, v) {
+					if obj := pass.TypesInfo.Defs[n.Names[i]]; obj != nil {
+						unbuffered[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkGoroutine(pass, lit.Body, unbuffered)
+		return true
+	})
+}
+
+// checkGoroutine flags unescaped sends on the enclosing function's
+// unbuffered channels inside one goroutine body.
+func checkGoroutine(pass *analysis.Pass, body *ast.BlockStmt, unbuffered map[types.Object]bool) {
+	// Sends that appear as the comm clause of a select with an escape
+	// (a default, or any second clause to fall through to) are safe.
+	safe := map[*ast.SendStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		if len(sel.Body.List) < 2 {
+			return true // single-clause select == bare send
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					safe[send] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || safe[send] {
+			return true
+		}
+		id, ok := send.Chan.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !unbuffered[obj] {
+			return true
+		}
+		pass.Reportf(send.Pos(),
+			"goroutine sends on unbuffered channel %s with no select escape; if the receiver is gone the goroutine leaks — buffer the channel, close it, or select on ctx.Done()/default (chanleak)",
+			id.Name)
+		return true
+	})
+}
+
+// isUnbufferedMake reports whether e is make(chan T) with no capacity
+// or a constant-zero capacity.
+func isUnbufferedMake(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "make" {
+		return false
+	}
+	if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	if _, ok := pass.TypesInfo.TypeOf(call.Args[0]).Underlying().(*types.Chan); !ok {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	tv := pass.TypesInfo.Types[call.Args[1]]
+	return tv.Value != nil && tv.Value.String() == "0"
+}

@@ -1,0 +1,12 @@
+package chanleak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/chanleak"
+)
+
+func TestChanLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", chanleak.Analyzer, "serve", "other")
+}

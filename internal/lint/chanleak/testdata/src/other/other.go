@@ -1,0 +1,11 @@
+// Package other is outside the audited serving stack; the same leaky
+// shape is not flagged here.
+package other
+
+func handoff(work func() int) int {
+	done := make(chan int)
+	go func() {
+		done <- work()
+	}()
+	return <-done
+}

@@ -1,0 +1,101 @@
+// Package serve is the chanleak fixture: goroutine/channel hand-off
+// shapes from the serving stack, flagged and sanctioned.
+package serve
+
+import "context"
+
+// Flagged: classic leak — if the receiver times out and leaves, the
+// goroutine blocks on the send forever.
+func leakyHandoff(work func() int) int {
+	done := make(chan int)
+	go func() {
+		done <- work() // want `goroutine sends on unbuffered channel done with no select escape`
+	}()
+	return <-done
+}
+
+// Flagged: var-declared channel, send buried in a loop.
+func leakyLoop(items []int) {
+	var results chan int = make(chan int)
+	go func() {
+		for _, it := range items {
+			results <- it // want `goroutine sends on unbuffered channel results with no select escape`
+		}
+	}()
+	_ = <-results
+}
+
+// Allowed: buffered channel sized for the hand-off.
+func bufferedHandoff(work func() int) int {
+	done := make(chan int, 1)
+	go func() {
+		done <- work()
+	}()
+	return <-done
+}
+
+// Allowed: close instead of send — the Drain pattern.
+func closeSignal(wait func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		wait()
+		close(done)
+	}()
+	return done
+}
+
+// Allowed: select with a ctx.Done() escape.
+func ctxEscape(ctx context.Context, work func() int) int {
+	done := make(chan int)
+	go func() {
+		select {
+		case done <- work():
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case v := <-done:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Allowed: select with a default escape (drop-oldest publish shape).
+func defaultEscape(events chan int, v int) {
+	go func() {
+		select {
+		case events <- v:
+		default:
+		}
+	}()
+}
+
+// Flagged: a single-clause select is just a dressed-up bare send.
+func fakeEscape(work func() int) int {
+	done := make(chan int)
+	go func() {
+		select {
+		case done <- work(): // want `goroutine sends on unbuffered channel done with no select escape`
+		}
+	}()
+	return <-done
+}
+
+// Allowed: the channel is a parameter — buffering unknown, so the
+// analyzer stays quiet rather than guess.
+func paramChannel(out chan int, v int) {
+	go func() {
+		out <- v
+	}()
+}
+
+// Allowed via reviewed escape: the receiver below provably drains.
+func ignored(work func() int) int {
+	done := make(chan int)
+	go func() {
+		//cdcsvet:ignore chanleak -- the sole receiver below never returns before draining
+		done <- work()
+	}()
+	return <-done
+}

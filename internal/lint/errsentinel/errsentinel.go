@@ -1,16 +1,22 @@
 // Package errsentinel flags `err == ErrFoo` / `err != ErrFoo`
 // comparisons against the flow's typed sentinel errors (ErrCanceled,
-// ErrInfeasible, ErrCandidateCap, …) in favor of errors.Is. Every layer
-// of the pipeline wraps sentinels with %w to attach context — the cap
-// message carries the cap value, the facade re-exports internal
-// sentinels — so identity comparison silently stops matching the moment
-// anyone adds a wrap. errors.Is is the only comparison that survives
-// refactoring; the invariant applies to tests too, which is where
-// sentinel identity checks usually sneak back in.
+// ErrInfeasible, durable.ErrClosed, …) in favor of errors.Is. Every
+// layer of the pipeline wraps sentinels with %w to attach context —
+// the cap message carries the cap value, the facade re-exports
+// internal sentinels, the serving stack wraps store errors — so
+// identity comparison silently stops matching the moment anyone adds
+// a wrap. errors.Is is the only comparison that survives refactoring;
+// the invariant applies to tests too, which is where sentinel identity
+// checks usually sneak back in.
 //
-// The rule: any equality comparison where either operand is a
-// package-level `error` variable whose name starts with "Err" is
-// flagged. Comparisons with nil are untouched. There is no suppression
+// The rule is cross-package via facts: when a package is analyzed, an
+// IsSentinel fact is exported for every package-level `error` variable
+// that is sentinel-shaped — named Err*, or initialized directly with
+// errors.New / fmt.Errorf regardless of name. Any equality comparison
+// whose operand carries that fact (or, as a factless fallback for
+// packages analyzed without their dependencies' facts, is Err*-named)
+// is flagged, from the declaring package and from every importer
+// alike. Comparisons with nil are untouched. There is no suppression
 // comment — use errors.Is.
 package errsentinel
 
@@ -23,14 +29,25 @@ import (
 	"repro/internal/lint/analysis"
 )
 
+// IsSentinel marks a package-level error variable as a sentinel:
+// downstream packages must compare against it with errors.Is.
+type IsSentinel struct{}
+
+// AFact marks IsSentinel as an analysis fact.
+func (*IsSentinel) AFact() {}
+
+func (*IsSentinel) String() string { return "isSentinel" }
+
 // Analyzer is the errsentinel check.
 var Analyzer = &analysis.Analyzer{
-	Name: "errsentinel",
-	Doc:  "flags ==/!= comparisons against Err* sentinel variables; wrapped sentinels only match via errors.Is",
-	Run:  run,
+	Name:      "errsentinel",
+	Doc:       "flags ==/!= comparisons against declared error sentinels (cross-package via facts); wrapped sentinels only match via errors.Is",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(IsSentinel)},
 }
 
 func run(pass *analysis.Pass) error {
+	exportSentinels(pass)
 	pass.Inspect(func(n ast.Node) bool {
 		cmp, ok := n.(*ast.BinaryExpr)
 		if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
@@ -53,8 +70,65 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// exportSentinels attaches an IsSentinel fact to every sentinel-shaped
+// package-level error variable declared by the pass's package: named
+// Err*, or initialized with a direct errors.New / fmt.Errorf call.
+func exportSentinels(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+					if !ok || !isErrorType(obj.Type()) {
+						continue
+					}
+					shaped := strings.HasPrefix(id.Name, "Err")
+					if !shaped && i < len(vs.Values) {
+						shaped = isErrorCtor(pass, vs.Values[i])
+					}
+					if shaped {
+						pass.ExportObjectFact(obj, &IsSentinel{})
+					}
+				}
+			}
+		}
+	}
+}
+
+// isErrorCtor reports whether e is a direct errors.New(...) or
+// fmt.Errorf(...) call — the canonical sentinel initializers.
+func isErrorCtor(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "errors.New", "fmt.Errorf":
+		return true
+	}
+	return false
+}
+
 // sentinelName reports whether e denotes a package-level error variable
-// named Err*.
+// that is a declared sentinel: one carrying an IsSentinel fact, or —
+// so the rule degrades gracefully when dependency facts are absent
+// (stdlib sentinels, bare analysis.Run) — one named Err*.
 func sentinelName(pass *analysis.Pass, e ast.Expr) (string, bool) {
 	var id *ast.Ident
 	switch e := e.(type) {
@@ -73,10 +147,13 @@ func sentinelName(pass *analysis.Pass, e ast.Expr) (string, bool) {
 	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
 		return "", false
 	}
-	if !strings.HasPrefix(obj.Name(), "Err") || !isErrorType(obj.Type()) {
+	if !isErrorType(obj.Type()) {
 		return "", false
 	}
-	return obj.Name(), true
+	if strings.HasPrefix(obj.Name(), "Err") || pass.ImportObjectFact(obj, new(IsSentinel)) {
+		return obj.Name(), true
+	}
+	return "", false
 }
 
 var errorType = types.Universe.Lookup("error").Type()

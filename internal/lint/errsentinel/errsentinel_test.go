@@ -10,3 +10,12 @@ import (
 func TestErrSentinel(t *testing.T) {
 	analysistest.Run(t, "testdata", errsentinel.Analyzer, "a")
 }
+
+// TestCrossPackage proves the facts relay: package app compares
+// sentinels declared by package sentinels — including one without the
+// Err name prefix, invisible to the name heuristic — and the
+// diagnostics appear in app because the IsSentinel facts exported
+// while analyzing sentinels are imported when analyzing app.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "sentinels", "app")
+}

@@ -1,4 +1,4 @@
-// Package a is the errsentinel fixture.
+// Package a is the errsentinel single-package fixture.
 package a
 
 import (
@@ -7,15 +7,21 @@ import (
 )
 
 // ErrInfeasible is a typed sentinel like the ones the facade exports.
-var ErrInfeasible = errors.New("infeasible")
+var ErrInfeasible = errors.New("infeasible") // want ErrInfeasible:`isSentinel`
 
-// errInternal is unexported but still a sentinel by shape; the rule
-// keys on the Err name prefix, which it lacks after export rules — it
-// is named err*, so identity comparison is not flagged.
-var errInternal = errors.New("internal")
+// errInternal lacks the Err prefix after unexported naming, but its
+// initializer makes it a sentinel all the same.
+var errInternal = errors.New("internal") // want errInternal:`isSentinel`
 
-// NotASentinel is an error-typed package var without the Err prefix.
-var NotASentinel = errors.New("odd name")
+// NotASentinel is Err-prefix-free but errors.New-initialized: the
+// io.EOF shape. The fact keys on the initializer, not the name.
+var NotASentinel = errors.New("odd name") // want NotASentinel:`isSentinel`
+
+// dynamic is error-typed but built by arbitrary code — not a declared
+// sentinel, so identity comparison is (dubiously but) allowed.
+var dynamic = makeErr()
+
+func makeErr() error { return fmt.Errorf("dynamic %d", 42) }
 
 // Check exercises the flagged and allowed comparison shapes.
 func Check(err error) int {
@@ -34,15 +40,18 @@ func Check(err error) int {
 	if err == nil { // allowed: nil check, not a sentinel
 		return 5
 	}
-	if err == errInternal { // allowed: not Err*-named (unexported err*)
+	if err == errInternal { // want `== compares sentinel errInternal by identity`
 		return 6
 	}
-	if err == NotASentinel { // allowed: no Err prefix
+	if err == NotASentinel { // want `== compares sentinel NotASentinel by identity`
 		return 7
+	}
+	if err == dynamic { // allowed: not a declared sentinel
+		return 8
 	}
 	wrapped := fmt.Errorf("cap 12: %w", ErrInfeasible)
 	if errors.Is(wrapped, ErrInfeasible) {
-		return 8
+		return 9
 	}
 	return 0
 }

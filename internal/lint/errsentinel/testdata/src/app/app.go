@@ -1,0 +1,27 @@
+// Package app imports the sentinels fixture package and compares its
+// errors by identity — the cross-package case the IsSentinel facts
+// exist to catch.
+package app
+
+import (
+	"errors"
+
+	"sentinels"
+)
+
+// Handle exercises cross-package sentinel comparisons.
+func Handle(err error) int {
+	if err == sentinels.ErrClosed { // want `== compares sentinel ErrClosed by identity`
+		return 1
+	}
+	if err != sentinels.Torn { // want `!= compares sentinel Torn by identity`
+		return 2
+	}
+	if errors.Is(err, sentinels.Torn) { // allowed: the fix
+		return 3
+	}
+	if err == sentinels.Limit { // allowed: not a declared sentinel
+		return 4
+	}
+	return 0
+}

@@ -1,0 +1,19 @@
+// Package sentinels declares the error sentinels the cross-package
+// fixture (package app) compares against. It mirrors the shape of
+// internal/durable: one Err*-named sentinel and one io.EOF-style
+// sentinel whose name carries no Err prefix — the case only the facts
+// relay can catch from an importing package.
+package sentinels
+
+import "errors"
+
+// ErrClosed is the conventionally named sentinel.
+var ErrClosed = errors.New("sentinels: closed") // want ErrClosed:`isSentinel`
+
+// Torn is a sentinel by initializer, not by name.
+var Torn = errors.New("sentinels: torn record") // want Torn:`isSentinel`
+
+// Limit is error-typed but not sentinel-shaped: built indirectly.
+var Limit = build()
+
+func build() error { return errors.New("sentinels: limit") }

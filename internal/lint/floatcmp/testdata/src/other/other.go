@@ -4,3 +4,6 @@ package other
 
 // Same compares floats directly and is not flagged.
 func Same(a, b float64) bool { return a == b }
+
+// Order uses a raw ordered comparison and is not flagged either.
+func Order(a, b float64) bool { return a < b }

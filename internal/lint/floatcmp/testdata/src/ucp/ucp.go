@@ -4,7 +4,8 @@ package ucp
 
 // eq stands in for the approved repro/internal/num helpers; calling a
 // comparator instead of using an operator is the fix the analyzer
-// drives toward.
+// drives toward. Its internals compare against a constant, which is
+// exempt.
 func eq(a, b float64) bool { return a-b < 1e-9 && b-a < 1e-9 }
 
 // Pick compares candidate costs.
@@ -16,12 +17,9 @@ func Pick(cost, best float64, costs []float64) int {
 		return 1
 	}
 	for i, c := range costs {
-		if eq(c, best) { // allowed: epsilon helper call
+		if eq(c, best) { // allowed: comparator helper call
 			return i
 		}
-	}
-	if cost < best { // allowed: strict ordering is not equality
-		return 2
 	}
 	const a, b = 1.5, 2.5
 	if a == b { // allowed: constant comparison, evaluated exactly
@@ -30,10 +28,40 @@ func Pick(cost, best float64, costs []float64) int {
 	return -1
 }
 
-// Mixed types still count when the float side decides.
+// Prune exercises the ordered operators the B&B audit brought under
+// the rule: two computed quantities must go through a named
+// comparator.
+func Prune(cost, bound, best float64) int {
+	if cost < best { // want `float < comparison of cost and best`
+		return 0
+	}
+	if cost+bound >= best { // want `float >= comparison of cost \+ bound and best`
+		return 1
+	}
+	if bound > cost { // want `float > comparison of bound and cost`
+		return 2
+	}
+	if bound <= cost { // want `float <= comparison of bound and cost`
+		return 3
+	}
+	return -1
+}
+
+// Thresholds against constants are exact by intent and stay exempt.
+func Thresholds(gap, raise float64) bool {
+	if gap < 0 {
+		return true
+	}
+	if raise <= 0 {
+		return true
+	}
+	return 1e-9 > gap
+}
+
+// Mixed types still count when the float side decides equality.
 func Mixed(ratio float64) bool {
 	return ratio == 0.5 // want `float == comparison of ratio and 0.5`
 }
 
 // Ints are untouched.
-func Ints(a, b int) bool { return a == b }
+func Ints(a, b int) bool { return a == b && a < b == false }

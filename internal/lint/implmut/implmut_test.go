@@ -1,0 +1,12 @@
+package implmut_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/implmut"
+)
+
+func TestImplMut(t *testing.T) {
+	analysistest.Run(t, "testdata", implmut.Analyzer, "impl", "user")
+}

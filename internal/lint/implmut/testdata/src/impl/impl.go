@@ -1,0 +1,43 @@
+// Package impl is the fixture twin of repro/internal/impl: a Graph
+// with mutators and verification entry points.
+package impl
+
+import "errors"
+
+// Graph is a miniature implementation graph.
+type Graph struct {
+	Vertices []string
+	Links    map[string]string
+	Impl     map[string]int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{Links: map[string]string{}, Impl: map[string]int{}}
+}
+
+// AddCommVertex appends a vertex.
+func (g *Graph) AddCommVertex(v string) { g.Vertices = append(g.Vertices, v) }
+
+// AddLink records an edge.
+func (g *Graph) AddLink(a, b string) { g.Links[a] = b }
+
+// AssignImplementation binds a vertex to an implementation index.
+func (g *Graph) AssignImplementation(v string, idx int) { g.Impl[v] = idx }
+
+// SetLinks replaces the link table.
+func (g *Graph) SetLinks(m map[string]string) { g.Links = m }
+
+// Verify checks the graph's invariants.
+func (g *Graph) Verify() error {
+	if len(g.Vertices) == 0 {
+		return errors.New("empty graph")
+	}
+	return nil
+}
+
+// Validate is the strict verification entry point.
+func (g *Graph) Validate() error { return g.Verify() }
+
+// Cost is a read-only query.
+func (g *Graph) Cost() int { return len(g.Links) }

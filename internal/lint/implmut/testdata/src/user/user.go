@@ -1,0 +1,101 @@
+// Package user exercises the verified-then-mutated shapes implmut
+// flags and the sanctioned ones it allows.
+package user
+
+import "impl"
+
+// Flagged: mutator call after Verify with no re-verification.
+func mutateAfterVerify(g *impl.Graph) error {
+	if err := g.Verify(); err != nil {
+		return err
+	}
+	g.AddCommVertex("v9") // want `AddCommVertex mutates g after Verify`
+	return nil
+}
+
+// Flagged: all three mutator prefixes, plus a direct write.
+func manyMutations(g *impl.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	g.AddLink("a", "b")              // want `AddLink mutates g after Verify`
+	g.AssignImplementation("a", 2)   // want `AssignImplementation mutates g after Verify`
+	g.SetLinks(nil)                  // want `SetLinks mutates g after Verify`
+	g.Impl["a"] = 3                  // want `assignment to g.Impl\["a"\] mutates g after Verify`
+	g.Vertices = append(g.Vertices, "x") // want `assignment to g.Vertices mutates g after Verify`
+	return nil
+}
+
+// Allowed: mutate first, verify last — the canonical build flow.
+func buildThenVerify() (*impl.Graph, error) {
+	g := impl.New()
+	g.AddCommVertex("v1")
+	g.AddLink("v1", "v1")
+	return g, g.Verify()
+}
+
+// Allowed: mutation followed by re-verification.
+func mutateThenReverify(g *impl.Graph) error {
+	if err := g.Verify(); err != nil {
+		return err
+	}
+	g.AddCommVertex("v2")
+	return g.Verify()
+}
+
+// Flagged: only the mutation after the last verification.
+func reverifyThenMutate(g *impl.Graph) error {
+	if err := g.Verify(); err != nil {
+		return err
+	}
+	g.AddCommVertex("v3")
+	if err := g.Verify(); err != nil {
+		return err
+	}
+	g.AddLink("v3", "v3") // want `AddLink mutates g after Verify`
+	return nil
+}
+
+// Allowed: reads after verification are not mutations.
+func readAfterVerify(g *impl.Graph) (int, error) {
+	if err := g.Verify(); err != nil {
+		return 0, err
+	}
+	return g.Cost(), nil
+}
+
+// Allowed: distinct receivers do not contaminate each other.
+func twoGraphs(a, b *impl.Graph) error {
+	if err := a.Verify(); err != nil {
+		return err
+	}
+	b.AddCommVertex("v4")
+	return nil
+}
+
+// Allowed: rebinding the variable is not mutating the verified graph.
+func rebind(g *impl.Graph) error {
+	if err := g.Verify(); err != nil {
+		return err
+	}
+	g = impl.New()
+	return nil
+}
+
+// Allowed via reviewed escape.
+func ignored(g *impl.Graph) error {
+	if err := g.Verify(); err != nil {
+		return err
+	}
+	//cdcsvet:ignore implmut -- scratch copy is re-verified by the caller
+	g.AddCommVertex("v5")
+	return nil
+}
+
+// Function literals are separate scopes: the literal verifies and the
+// outer function mutates, neither is a verified-then-mutated path.
+func litScopes(g *impl.Graph) {
+	check := func() error { return g.Verify() }
+	_ = check
+	g.AddCommVertex("v6")
+}

@@ -1,23 +1,31 @@
-// Package lint assembles the cdcsvet analyzer suite: the four
+// Package lint assembles the cdcsvet analyzer suite: the seven
 // domain-specific checks that encode CDCS correctness invariants the
-// type system cannot express. See docs/LINT.md for the full rationale
-// of each rule and its relation to the paper's exactness claims.
+// type system cannot express — four from the original suite plus the
+// concurrency-invariant analyzers over the serving/durability stack.
+// See docs/LINT.md for the full rationale of each rule and its
+// relation to the paper's exactness claims.
 package lint
 
 import (
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/chanleak"
 	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/errsentinel"
 	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/implmut"
+	"repro/internal/lint/lockorder"
 	"repro/internal/lint/mapiter"
 )
 
 // Analyzers returns the full cdcsvet suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		chanleak.Analyzer,
 		ctxflow.Analyzer,
 		errsentinel.Analyzer,
 		floatcmp.Analyzer,
+		implmut.Analyzer,
+		lockorder.Analyzer,
 		mapiter.Analyzer,
 	}
 }

@@ -237,6 +237,76 @@ type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
+// Runner applies an analyzer suite across packages in dependency
+// order with one shared fact store: before a package is analyzed,
+// every loader-local package it imports is analyzed first (memoized),
+// so facts exported by dependencies — sentinel declarations, lock
+// hierarchies — are visible when the importer is checked. This is the
+// in-process counterpart of the vetx-file relay the unitchecker driver
+// does across `go vet` tool invocations.
+type Runner struct {
+	loader    *Loader
+	analyzers []*analysis.Analyzer
+	facts     *analysis.Facts
+	results   map[string]*analysis.Result
+}
+
+// NewRunner returns a Runner over the loader's package namespace. It
+// registers the analyzers' fact types for gob so the same suite can
+// mix in-process and serialized runs.
+func NewRunner(l *Loader, analyzers []*analysis.Analyzer) *Runner {
+	analysis.RegisterFactTypes(analyzers)
+	return &Runner{
+		loader:    l,
+		analyzers: analyzers,
+		facts:     analysis.NewFacts(),
+		results:   map[string]*analysis.Result{},
+	}
+}
+
+// Analyze runs the suite on pkg (after its loader-local dependencies)
+// and returns its memoized result.
+func (r *Runner) Analyze(pkg *analysis.Package) (*analysis.Result, error) {
+	if res, ok := r.results[pkg.Path]; ok {
+		return res, nil
+	}
+	// Recursion terminates because type-checked packages cannot form
+	// import cycles; diamonds are collapsed by the memo.
+	for _, imp := range pkg.Types.Imports() {
+		dir, ok := r.loader.localDir(imp.Path())
+		if !ok {
+			continue
+		}
+		dep, err := r.loader.load(imp.Path(), dir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.Analyze(dep); err != nil {
+			return nil, err
+		}
+	}
+	res, err := analysis.RunPackage(pkg, r.analyzers, r.facts)
+	if err != nil {
+		return nil, err
+	}
+	r.results[pkg.Path] = res
+	return res, nil
+}
+
+// AnalyzeDir loads the package in dir and analyzes it (dependencies
+// first).
+func (r *Runner) AnalyzeDir(dir string) (*analysis.Result, error) {
+	pkg, err := r.loader.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return r.Analyze(pkg)
+}
+
+// Facts exposes the shared store — analysistest asserts exported facts
+// through it.
+func (r *Runner) Facts() *analysis.Facts { return r.facts }
+
 // ModuleRoot walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
 func ModuleRoot(dir string) (root, module string, err error) {

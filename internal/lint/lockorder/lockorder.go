@@ -1,0 +1,601 @@
+// Package lockorder checks declared lock hierarchies. A package that
+// documents a locking discipline turns the comment into a checked
+// directive:
+//
+//	//cdcsvet:lockorder Server.mu -> durable.Store
+//	//cdcsvet:lockorder shard.mu -> shard.mu
+//
+// Each directive forbids one thing while the source mutex (a field of
+// a package-local type, identified as Type.field) is held on any path
+// of a function in the package:
+//
+//   - a pkg.Type target forbids calling any method of that type — the
+//     serve rule: persist* helpers must run outside s.mu because the
+//     durable store calls back into the server's snapshot under its
+//     own lock;
+//   - a Type.field target forbids acquiring that mutex; the self-edge
+//     form (shard.mu -> shard.mu) forbids nested acquisition across
+//     instances, i.e. no cross-shard double-lock.
+//
+// The analysis is a source-order, intra-procedural held-set walk:
+// Lock/RLock acquires, Unlock/RUnlock releases, `defer Unlock` holds
+// to function end, branches that return are discarded, the rest merge
+// by union (a mutex possibly held counts as held). Calls to
+// same-package functions are resolved through transitive call
+// summaries, so a violation buried two helpers deep is still caught at
+// the outermost call made under the lock. Goroutine bodies start with
+// an empty held set — a `go` statement does not carry its creator's
+// locks. The approximations are deliberately one-sided where cheap,
+// but conditional unlocking can still fool them; the
+// `//cdcsvet:ignore lockorder -- why` escape covers reviewed cases.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name:        "lockorder",
+	Doc:         "checks //cdcsvet:lockorder directives: no forbidden mutex acquisition or target-type method call while the declared source mutex is held",
+	Run:         run,
+	AllowIgnore: true,
+}
+
+// rule is one parsed directive.
+type rule struct {
+	src string // source mutex key "Type.field"
+	// Exactly one of the two targets is set:
+	mutex   string // forbidden mutex key "Type.field"
+	callPkg string // forbidden callee package base name …
+	callTyp string // … and type name
+	pos     token.Pos
+}
+
+func (r *rule) target() string {
+	if r.mutex != "" {
+		return r.mutex
+	}
+	return r.callPkg + "." + r.callTyp
+}
+
+func run(pass *analysis.Pass) error {
+	rules := parseDirectives(pass)
+	if len(rules) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, rules: rules}
+	c.buildSummaries()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.walkBlock(fd.Body.List, held{})
+			}
+		}
+	}
+	return nil
+}
+
+// parseDirectives scans every comment of the package for lockorder
+// directives; malformed ones are themselves diagnostics so a typo
+// cannot silently disable the check.
+func parseDirectives(pass *analysis.Pass) []*rule {
+	const prefix = "//cdcsvet:lockorder "
+	var rules []*rule
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok {
+					continue
+				}
+				r, err := parseRule(pass, strings.TrimSpace(rest))
+				if err != nil {
+					pass.Reportf(c.Pos(), "malformed lockorder directive %q: %v (lockorder)", strings.TrimSpace(rest), err)
+					continue
+				}
+				r.pos = c.Pos()
+				rules = append(rules, r)
+			}
+		}
+	}
+	return rules
+}
+
+func parseRule(pass *analysis.Pass, text string) (*rule, error) {
+	lhs, rhs, ok := strings.Cut(text, "->")
+	if !ok {
+		return nil, fmt.Errorf("want %q", "Type.field -> Type.field | pkg.Type")
+	}
+	src := strings.TrimSpace(lhs)
+	dst := strings.TrimSpace(rhs)
+	srcType, srcField, ok := strings.Cut(src, ".")
+	if !ok || srcType == "" || srcField == "" {
+		return nil, fmt.Errorf("source %q is not Type.field", src)
+	}
+	if !isLocalMutexField(pass, srcType, srcField) {
+		return nil, fmt.Errorf("source %s.%s is not a sync.Mutex/RWMutex field of a package type", srcType, srcField)
+	}
+	a, b, ok := strings.Cut(dst, ".")
+	if !ok || a == "" || b == "" {
+		return nil, fmt.Errorf("target %q is not Type.field or pkg.Type", dst)
+	}
+	r := &rule{src: srcType + "." + srcField}
+	// Disambiguate the target: a package-local type name means a mutex
+	// edge; anything else names an imported package's type.
+	if isLocalMutexField(pass, a, b) {
+		r.mutex = a + "." + b
+	} else if _, isType := pass.Pkg.Scope().Lookup(a).(*types.TypeName); isType {
+		return nil, fmt.Errorf("target %s.%s is not a mutex field of package type %s", a, b, a)
+	} else {
+		r.callPkg, r.callTyp = a, b
+	}
+	return r, nil
+}
+
+// isLocalMutexField reports whether the package declares a type with
+// the named sync.Mutex/RWMutex field.
+func isLocalMutexField(pass *analysis.Pass, typeName, field string) bool {
+	tn, ok := pass.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return false
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == field && isSyncMutex(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// held maps mutex keys to acquisition counts on the current path.
+type held map[string]int
+
+func (h held) clone() held {
+	out := make(held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// merge unions counts (max): after a branch, "possibly held" is held.
+func (h held) merge(o held) {
+	for k, v := range o {
+		if v > h[k] {
+			h[k] = v
+		}
+	}
+}
+
+func (h held) any() bool {
+	for _, v := range h {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// effects summarizes what one package function does, transitively:
+// which mutexes it may acquire and which foreign types it may call.
+type effects struct {
+	acquires map[string]bool
+	calls    map[string]bool // "pkgBase.Type"
+	callees  map[*types.Func]bool
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	rules     []*rule
+	summaries map[*types.Func]*effects
+}
+
+// buildSummaries computes per-function effect summaries and closes
+// them over same-package calls, so checking a call site sees
+// everything reachable beneath it.
+func (c *checker) buildSummaries() {
+	c.summaries = map[*types.Func]*effects{}
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			eff := &effects{acquires: map[string]bool{}, calls: map[string]bool{}, callees: map[*types.Func]bool{}}
+			c.collectEffects(fd.Body, eff)
+			c.summaries[fn] = eff
+		}
+	}
+	// Fixpoint: fold callees' effects upward until nothing changes.
+	for changed := true; changed; {
+		changed = false
+		for _, eff := range c.summaries {
+			for callee := range eff.callees {
+				ce, ok := c.summaries[callee]
+				if !ok {
+					continue
+				}
+				for k := range ce.acquires {
+					if !eff.acquires[k] {
+						eff.acquires[k] = true
+						changed = true
+					}
+				}
+				for k := range ce.calls {
+					if !eff.calls[k] {
+						eff.calls[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectEffects records n's direct effects. Goroutine literals are
+// excluded: their bodies run outside the caller's locks.
+func (c *checker) collectEffects(n ast.Node, eff *effects) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if _, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if key, acquire, isMutex := c.mutexOp(n); isMutex {
+				if acquire {
+					eff.acquires[key] = true
+				}
+				return true
+			}
+			if tgt, ok := c.foreignCallTarget(n); ok {
+				eff.calls[tgt] = true
+			}
+			if fn := c.staticCallee(n); fn != nil {
+				eff.callees[fn] = true
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp classifies call as a Lock/RLock (acquire) or
+// Unlock/RUnlock (release) on a Type.field mutex and returns its key.
+func (c *checker) mutexOp(call *ast.CallExpr) (key string, acquire, isMutex bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	if !isSyncMutexExpr(c.pass, sel.X) {
+		return "", false, false
+	}
+	// The mutex must itself be a field selector x.f with x of a named
+	// package type: that pins it to a directive's Type.field key.
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	tn, ok := namedTypeOf(c.pass.TypesInfo.TypeOf(inner.X))
+	if !ok {
+		return "", false, false
+	}
+	return tn + "." + inner.Sel.Name, acquire, true
+}
+
+func isSyncMutexExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isSyncMutex(t)
+}
+
+// namedTypeOf returns the base name of t's named type, through one
+// pointer.
+func namedTypeOf(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name(), true
+	}
+	return "", false
+}
+
+// foreignCallTarget reports a method call on a value of an imported
+// type as "pkgBase.Type".
+func (c *checker) foreignCallTarget(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() == c.pass.Pkg {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	tn, ok := namedTypeOf(recv.Type())
+	if !ok {
+		return "", false
+	}
+	return analysis.BaseName(fn.Pkg().Path()) + "." + tn, true
+}
+
+// staticCallee resolves a call to a function or method declared in the
+// package under analysis.
+func (c *checker) staticCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != c.pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// walkBlock interprets stmts with the entry held set and returns the
+// fall-through held set; terminated reports that every path returned.
+func (c *checker) walkBlock(stmts []ast.Stmt, h held) (out held, terminated bool) {
+	for _, s := range stmts {
+		h, terminated = c.walkStmt(s, h)
+		if terminated {
+			return h, true
+		}
+	}
+	return h, false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, h held) (held, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, h)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, h)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, h)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, h)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, h)
+		}
+		return h, true
+	case *ast.DeferStmt:
+		// `defer x.f.Unlock()` holds to function end: no release. Any
+		// other deferred call is checked against the current held set —
+		// an approximation that matches the lock-scoped defer idiom.
+		if _, acquire, isMutex := c.mutexOp(s.Call); isMutex && !acquire {
+			return h, false
+		}
+		c.scanExpr(s.Call, h)
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkBlock(lit.Body.List, held{})
+		}
+		// The goroutine runs without our locks; its launch is not a
+		// call under them.
+	case *ast.BlockStmt:
+		return c.walkBlock(s.List, h)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			h, _ = c.walkStmt(s.Init, h)
+		}
+		c.scanExpr(s.Cond, h)
+		thenOut, thenTerm := c.walkBlock(s.Body.List, h.clone())
+		elseOut, elseTerm := h.clone(), false
+		if s.Else != nil {
+			elseOut, elseTerm = c.walkStmt(s.Else, h.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return h, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			thenOut.merge(elseOut)
+			return thenOut, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			h, _ = c.walkStmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, h)
+		}
+		bodyOut, _ := c.walkBlock(s.Body.List, h.clone())
+		if s.Post != nil {
+			c.walkStmt(s.Post, bodyOut)
+		}
+		h.merge(bodyOut)
+		return h, false
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, h)
+		bodyOut, _ := c.walkBlock(s.Body.List, h.clone())
+		h.merge(bodyOut)
+		return h, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkClauses(s, h)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, h)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, h)
+		c.scanExpr(s.Value, h)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, h)
+	case *ast.BranchStmt:
+		// break/continue/goto leave the structured flow; discard the
+		// path like a return so its held set cannot pollute the merge.
+		return h, true
+	}
+	return h, false
+}
+
+// walkClauses handles switch/type-switch/select uniformly: each clause
+// starts from the entry set, non-returning clauses merge.
+func (c *checker) walkClauses(s ast.Stmt, h held) (held, bool) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			h, _ = c.walkStmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, h)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			h, _ = c.walkStmt(s.Init, h)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := h.clone()
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanExpr(e, h)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm, h.clone())
+			}
+			stmts = cl.Body
+		}
+		if clauseOut, term := c.walkBlock(stmts, h.clone()); !term {
+			out.merge(clauseOut)
+		}
+	}
+	return out, false
+}
+
+// scanExpr visits every call in e (in evaluation-ish order) against
+// the held set; function literals are separate scopes starting empty.
+func (c *checker) scanExpr(e ast.Expr, h held) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkBlock(n.Body.List, held{})
+			return false
+		case *ast.CallExpr:
+			c.handleCall(n, h)
+		}
+		return true
+	})
+}
+
+// handleCall applies one call's effect to the held set and reports
+// rule violations it commits under the currently held mutexes.
+func (c *checker) handleCall(call *ast.CallExpr, h held) {
+	if key, acquire, isMutex := c.mutexOp(call); isMutex {
+		if acquire {
+			for _, r := range c.rules {
+				if r.mutex == key && h[r.src] > 0 {
+					c.pass.Reportf(call.Pos(),
+						"acquires %s while holding %s; declared lock order forbids it (lockorder)", key, r.src)
+				}
+			}
+			h[key]++
+		} else if h[key] > 0 {
+			h[key]--
+		}
+		return
+	}
+	if !h.any() {
+		return
+	}
+	if tgt, ok := c.foreignCallTarget(call); ok {
+		for _, r := range c.rules {
+			if r.callPkg != "" && tgt == r.target() && h[r.src] > 0 {
+				c.pass.Reportf(call.Pos(),
+					"calls %s method while holding %s; declared lock order forbids it (lockorder)", tgt, r.src)
+			}
+		}
+	}
+	if fn := c.staticCallee(call); fn != nil {
+		if eff, ok := c.summaries[fn]; ok {
+			for _, r := range c.rules {
+				if h[r.src] == 0 {
+					continue
+				}
+				if r.mutex != "" && eff.acquires[r.mutex] {
+					c.pass.Reportf(call.Pos(),
+						"calls %s, which acquires %s, while holding %s; declared lock order forbids it (lockorder)",
+						fn.Name(), r.mutex, r.src)
+				}
+				if r.callPkg != "" && eff.calls[r.target()] {
+					c.pass.Reportf(call.Pos(),
+						"calls %s, which calls %s methods, while holding %s; declared lock order forbids it (lockorder)",
+						fn.Name(), r.target(), r.src)
+				}
+			}
+		}
+	}
+}

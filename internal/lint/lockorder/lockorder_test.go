@@ -1,0 +1,38 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/load"
+	"repro/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "durable", "serve", "p2p")
+}
+
+// TestMalformedDirectives: a directive that cannot be parsed (or whose
+// source mutex does not exist) is a diagnostic, never a silent no-op.
+func TestMalformedDirectives(t *testing.T) {
+	loader := load.New(filepath.Join("testdata", "src"), "")
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "badrule"))
+	if err != nil {
+		t.Fatalf("loading badrule: %v", err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{lockorder.Analyzer})
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "malformed lockorder directive") {
+			t.Errorf("diagnostic %q does not flag the malformed directive", d.Message)
+		}
+	}
+}

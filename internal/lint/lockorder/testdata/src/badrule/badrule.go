@@ -1,0 +1,17 @@
+// Package badrule carries deliberately malformed lockorder directives;
+// the analyzer must diagnose them instead of silently ignoring the
+// declared discipline. Checked programmatically (not via want
+// comments: the directive comment runs to end of line, so a trailing
+// want cannot share it).
+//
+//cdcsvet:lockorder Server.mu
+//
+//cdcsvet:lockorder Missing.mu -> durable.Store
+package badrule
+
+import "sync"
+
+// Server exists so only the second directive's source is unresolvable.
+type Server struct {
+	mu sync.Mutex
+}

@@ -1,0 +1,27 @@
+// Package durable is the dependency fixture: a store whose methods
+// take their own lock — the reason callers must never invoke them
+// under theirs.
+package durable
+
+import "sync"
+
+// Store is a miniature of the real WAL-backed store.
+type Store struct {
+	mu   sync.Mutex
+	rows []string
+}
+
+// Append records one row.
+func (s *Store) Append(r string) {
+	s.mu.Lock()
+	s.rows = append(s.rows, r)
+	s.mu.Unlock()
+}
+
+// Close shuts the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = nil
+	return nil
+}

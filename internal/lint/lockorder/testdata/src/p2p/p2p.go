@@ -1,0 +1,63 @@
+// Package p2p is the lockorder fixture for the self-edge rule: shard
+// locks are leaves, so holding one while acquiring another (any
+// instance) is a lock-inversion deadlock waiting for two goroutines
+// to pick opposite orders.
+//
+//cdcsvet:lockorder shard.mu -> shard.mu
+package p2p
+
+import "sync"
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+// Planner mirrors the sharded plan cache.
+type Planner struct {
+	shards [4]shard
+}
+
+// Flagged: the cross-shard double-lock.
+func (p *Planner) transfer(a, b int, k string) {
+	p.shards[a].mu.Lock()
+	p.shards[b].mu.Lock() // want `acquires shard.mu while holding shard.mu`
+	p.shards[b].entries[k] = p.shards[a].entries[k]
+	p.shards[b].mu.Unlock()
+	p.shards[a].mu.Unlock()
+}
+
+// lockedGet acquires a shard lock inside a helper.
+func (p *Planner) lockedGet(i int, k string) int {
+	sh := &p.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.entries[k]
+}
+
+// Flagged: the second acquisition hides in the helper.
+func (p *Planner) sum(a, b int, k string) int {
+	p.shards[a].mu.Lock()
+	defer p.shards[a].mu.Unlock()
+	return p.shards[a].entries[k] + p.lockedGet(b, k) // want `calls lockedGet, which acquires shard.mu, while holding shard.mu`
+}
+
+// Allowed: the real Stats pattern — one shard at a time, sequentially.
+func (p *Planner) stats() int {
+	total := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		total += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Allowed: lock, read, unlock, then the helper locks afterwards.
+func (p *Planner) sequential(a, b int, k string) int {
+	p.shards[a].mu.Lock()
+	v := p.shards[a].entries[k]
+	p.shards[a].mu.Unlock()
+	return v + p.lockedGet(b, k)
+}

@@ -1,0 +1,121 @@
+// Package serve is the lockorder fixture for the call-target rule:
+// while Server.mu is held, no durable.Store method may run — the
+// store calls back into the server's snapshot hook under its own
+// lock, so the combination deadlocks.
+//
+//cdcsvet:lockorder Server.mu -> durable.Store
+package serve
+
+import (
+	"sync"
+
+	"durable"
+)
+
+// Server mirrors the daemon's front end.
+type Server struct {
+	mu    sync.Mutex
+	jobs  map[string]int
+	store *durable.Store
+}
+
+// Flagged: a store call directly under the lock.
+func (s *Server) direct() {
+	s.mu.Lock()
+	s.store.Append("x") // want `calls durable.Store method while holding Server.mu`
+	s.mu.Unlock()
+}
+
+// Flagged: defer keeps the lock to function end, so the call is under
+// it.
+func (s *Server) deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Append("x") // want `calls durable.Store method while holding Server.mu`
+}
+
+// persist is the helper the indirect cases route through.
+func (s *Server) persist(r string) {
+	s.store.Append(r)
+}
+
+// persistAll adds one more hop.
+func (s *Server) persistAll() {
+	s.persist("a")
+	s.persist("b")
+}
+
+// Flagged: the violation is one helper deep.
+func (s *Server) indirect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist("x") // want `calls persist, which calls durable.Store methods, while holding Server.mu`
+}
+
+// Flagged: two helpers deep — the transitive summary closure.
+func (s *Server) transitive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persistAll() // want `calls persistAll, which calls durable.Store methods, while holding Server.mu`
+}
+
+// Allowed: the real tree's pattern — mutate the table under the lock,
+// release, then persist.
+func (s *Server) unlockFirst() {
+	s.mu.Lock()
+	s.jobs["a"] = 1
+	s.mu.Unlock()
+	s.persist("a")
+}
+
+// Allowed: the early-exit branch unlocks and returns; the fall-through
+// path unlocks before persisting.
+func (s *Server) branches(ok bool) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.jobs["b"] = 2
+	s.mu.Unlock()
+	s.persist("b")
+}
+
+// Flagged: only one branch unlocks, so the store call is possibly
+// under the lock — possibly held counts as held.
+func (s *Server) leakyBranch(ok bool) {
+	s.mu.Lock()
+	if ok {
+		s.mu.Unlock()
+	}
+	s.persist("c") // want `calls persist, which calls durable.Store methods, while holding Server.mu`
+}
+
+// Allowed: a goroutine does not inherit its creator's locks.
+func (s *Server) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.persist("bg")
+	}()
+}
+
+// Allowed: reads under the lock that never reach the store.
+func (s *Server) snapshot() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.jobs))
+	for k, v := range s.jobs {
+		out[k] = v
+	}
+	return out
+}
+
+// Allowed via reviewed escape: a store call the human has argued is
+// safe (e.g. a method documented not to take the store lock).
+func (s *Server) ignored() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//cdcsvet:ignore lockorder -- Close is documented reentrancy-safe in this fixture
+	_ = s.store.Close()
+}

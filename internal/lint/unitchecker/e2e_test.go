@@ -1,0 +1,115 @@
+package unitchecker_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetFactsRelay is the end-to-end proof that facts survive the
+// unitchecker wire: it builds the real cdcsvet binary, lays out a
+// scratch module whose sentinel package and consumer package are
+// separate compilation units, and runs `go vet -vettool=` over it. The
+// consumer compares against a sentinel whose name does NOT start with
+// Err, so the only way errsentinel can flag it is by importing the
+// IsSentinel fact that the sentinel package's vet invocation exported
+// through its .vetx file — the gob round trip under test.
+func TestVetFactsRelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go tool")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+
+	tmp := t.TempDir()
+	vettool := filepath.Join(tmp, "cdcsvet")
+	build := exec.Command(goTool, "build", "-o", vettool, "repro/cmd/cdcsvet")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cdcsvet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "scratch")
+	writeFile(t, mod, "go.mod", "module scratch\n\ngo 1.22\n")
+	writeFile(t, mod, "durable/durable.go", `package durable
+
+import "errors"
+
+// ErrTorn is Err-named: the in-package name heuristic alone covers it.
+var ErrTorn = errors.New("durable: torn write")
+
+// Torn is a sentinel only a relayed IsSentinel fact can identify.
+var Torn = errors.New("durable: torn page")
+`)
+	writeFile(t, mod, "app/app.go", `package app
+
+import (
+	"errors"
+
+	"scratch/durable"
+)
+
+func Classify(err error) int {
+	if err == durable.ErrTorn { // heuristic catch
+		return 1
+	}
+	if err != durable.Torn { // fact-only catch
+		return 2
+	}
+	if errors.Is(err, durable.Torn) { // approved form
+		return 3
+	}
+	return 0
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+vettool, "./...")
+	vet.Dir = mod
+	vet.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; want errsentinel diagnostics\n%s", out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"== compares sentinel ErrTorn by identity",
+		"!= compares sentinel Torn by identity",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("vet output missing %q", want)
+		}
+	}
+	if strings.Contains(text, "app.go:16") {
+		t.Errorf("vet flagged the approved errors.Is form on line 16:\n%s", text)
+	}
+	if t.Failed() {
+		t.Logf("full vet output:\n%s", text)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not at %s: %v", root, err)
+	}
+	return root
+}
+
+func writeFile(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

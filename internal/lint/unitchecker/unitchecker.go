@@ -3,8 +3,23 @@
 // the tool once per compilation unit with the path to a JSON config
 // describing the unit's files and the export data of its dependencies;
 // the tool type-checks the unit from that config alone, runs its
-// analyzers, writes the (empty) facts file cmd/go expects, and reports
-// diagnostics on stderr with a non-zero exit.
+// analyzers, writes the unit's facts file (vetx) for downstream units,
+// and reports diagnostics on stderr with a non-zero exit.
+//
+// Facts relay. cmd/go threads a vetx file from each dependency unit to
+// its importers via Config.PackageVetx and expects this tool to write
+// its own under Config.VetxOutput. The driver decodes every incoming
+// vetx into one analysis.Facts store, analyzes the unit with it, and
+// serializes the merged store (imported ∪ exported) — merging is what
+// makes facts transitive: a sentinel declared two hops down still
+// reaches the top-level unit even if the middle package exports
+// nothing itself. Units cmd/go wants only for their facts arrive with
+// VetxOnly=true; for those the driver runs just the fact-exporting
+// analyzers (FactTypes != nil) and never fails — a dependency that
+// cannot be parsed or type-checked yields an empty facts file, not a
+// broken build. Standard-library units are skipped outright: the
+// module's invariants are about its own sentinels, and the Err* name
+// heuristic already covers stdlib sentinels without facts.
 //
 // The handshake, observed from go1.24 cmd/go and matching x/tools'
 // unitchecker:
@@ -58,17 +73,57 @@ func Run(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
 		return 1
 	}
-	// cmd/go caches analysis facts per unit in the vetx file and fails
-	// if the tool does not produce one; the suite carries no facts, so
-	// an empty file is the correct output — and for VetxOnly units
-	// (dependencies analyzed solely for their facts) it is the whole
-	// job.
-	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
-		fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
-		return 1
-	}
-	if cfg.VetxOnly {
+	analysis.RegisterFactTypes(analyzers)
+
+	// succeed writes facts (or an empty placeholder on nil) and exits
+	// clean. cmd/go caches the vetx per unit and fails if the tool does
+	// not produce one, so every exit path must write the file.
+	succeed := func(facts *analysis.Facts) int {
+		data := []byte{}
+		if facts != nil {
+			if enc, err := facts.Encode(); err == nil {
+				data = enc
+			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0666); err != nil {
+			fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
+			return 1
+		}
 		return 0
+	}
+
+	if cfg.VetxOnly && cfg.Standard[cfg.ImportPath] {
+		return succeed(nil)
+	}
+
+	facts := analysis.NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			// A missing dependency vetx degrades cross-package facts
+			// for this unit, it does not break the build.
+			continue
+		}
+		if err := facts.Decode(data); err != nil {
+			fmt.Fprintf(stderr, "cdcsvet: %s: %v\n", vetx, err)
+			return 1
+		}
+	}
+
+	suite := analyzers
+	if cfg.VetxOnly {
+		// Dependency-only unit: cmd/go wants just its facts. Run the
+		// fact producers and suppress their diagnostics — the unit's
+		// own package gets fully analyzed in its own invocation.
+		suite = nil
+		for _, a := range analyzers {
+			if a.FactTypes != nil {
+				suite = append(suite, a)
+			}
+		}
+		if len(suite) == 0 {
+			return succeed(facts)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -76,13 +131,18 @@ func Run(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0
+			if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+				return succeed(facts)
 			}
 			fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
 			return 1
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		// Only reachable for VetxOnly units (readConfig rejects the
+		// rest); nothing to export facts from.
+		return succeed(facts)
 	}
 
 	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
@@ -116,28 +176,37 @@ func Run(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
 	}
 	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			return succeed(facts)
 		}
 		fmt.Fprintf(stderr, "cdcsvet: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags, err := analysis.Run(&analysis.Package{
+	res, err := analysis.RunPackage(&analysis.Package{
 		Path:  cfg.ImportPath,
 		Fset:  fset,
 		Files: files,
 		Types: tpkg,
 		Info:  info,
-	}, analyzers)
+	}, suite, facts)
 	if err != nil {
+		if cfg.VetxOnly {
+			return succeed(facts)
+		}
 		fmt.Fprintf(stderr, "cdcsvet: %v\n", err)
 		return 1
 	}
-	for _, d := range diags {
+	if code := succeed(res.Facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range res.Diagnostics {
 		fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
-	if len(diags) > 0 {
+	if len(res.Diagnostics) > 0 {
 		return 2
 	}
 	return 0

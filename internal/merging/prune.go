@@ -66,7 +66,7 @@ func NotMergeableBandwidth(bw []float64, arcs []int, lib *library.Library) bool 
 	min := bw[arcs[0]]
 	for _, i := range arcs {
 		sum += bw[i]
-		if bw[i] < min {
+		if num.Below(bw[i], min) {
 			min = bw[i]
 		}
 	}
@@ -137,7 +137,7 @@ func NotMergeableSet(gamma, delta *SymMatrix, arcs []int, policy RefPolicy, dist
 	case MaxDistRef:
 		ref := arcs[0]
 		for _, i := range arcs {
-			if dist[i] > dist[ref] {
+			if num.Stronger(dist[i], dist[ref]) {
 				ref = i
 			}
 		}
@@ -145,7 +145,7 @@ func NotMergeableSet(gamma, delta *SymMatrix, arcs []int, policy RefPolicy, dist
 	case MinDistRef:
 		ref := arcs[0]
 		for _, i := range arcs {
-			if dist[i] < dist[ref] {
+			if num.Below(dist[i], dist[ref]) {
 				ref = i
 			}
 		}

@@ -48,7 +48,7 @@ func CheckAssumption(lib *library.Library, distances, bandwidths []float64, opt 
 			if !s2.feasible {
 				continue
 			}
-			if s1.d <= s2.d && s1.b <= s2.b && num.Greater(s1.cost, s2.cost) {
+			if num.AtMost(s1.d, s2.d) && num.AtMost(s1.b, s2.b) && num.Greater(s1.cost, s2.cost) {
 				return fmt.Errorf(
 					"p2p: assumption 2.1 violated: (d=%g, b=%g) costs %.6g but dominated (d=%g, b=%g) costs %.6g",
 					s1.d, s1.b, s1.cost, s2.d, s2.b, s2.cost)

@@ -47,6 +47,12 @@ type Planner struct {
 // reaches while costing only 32 small maps per run.
 const numShards = 32
 
+// Shard locks are leaves: no code path may hold one shard's lock
+// while acquiring another (Stats walks shards strictly one at a
+// time), or the first pair of goroutines to pick opposite orders
+// deadlocks. cdcsvet checks the discipline:
+//
+//cdcsvet:lockorder shard.mu -> shard.mu
 type shard struct {
 	mu      sync.Mutex
 	entries map[planKey]*planEntry

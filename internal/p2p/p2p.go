@@ -96,7 +96,7 @@ func planFor(l library.Link, d, b float64, lib *library.Library, opt Options) (P
 		return Plan{}, false
 	}
 	chains := 1
-	if l.Bandwidth < b {
+	if num.Below(l.Bandwidth, b) {
 		chains = num.Ceil(b / l.Bandwidth)
 		if chains > opt.maxChains() {
 			return Plan{}, false
@@ -160,7 +160,7 @@ func BestPlan(d, b float64, lib *library.Library, opt Options) (Plan, error) {
 		if !ok {
 			continue
 		}
-		if !found || p.Cost < best.Cost {
+		if !found || num.Improves(p.Cost, best.Cost) {
 			best, found = p, true
 		}
 	}

@@ -91,6 +91,11 @@ type Job struct {
 	// compaction of restored jobs (whose req was never re-decoded).
 	specRaw json.RawMessage
 
+	// mu guards the lifecycle fields below. Like Server.mu, it must
+	// be released before any durable store call (the durable()
+	// snapshot is built under it, then persisted by the caller):
+	//
+	//cdcsvet:lockorder Job.mu -> durable.Store
 	mu       sync.Mutex
 	state    string
 	created  time.Time

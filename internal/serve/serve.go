@@ -113,6 +113,14 @@ type Server struct {
 	// acquired by the job goroutine, so excess submissions queue.
 	sem chan struct{}
 
+	// mu guards the job table below. The durable store must never be
+	// called while holding it: store writes take the store's own lock,
+	// and the store's snapshot compaction calls back into
+	// snapshotTable, which takes s.mu — the persist* helpers run
+	// strictly after unlock (restore.go). cdcsvet checks the
+	// discipline:
+	//
+	//cdcsvet:lockorder Server.mu -> durable.Store
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // insertion order, for listing and eviction

@@ -12,6 +12,8 @@ package ucp
 //
 // Neither bound dominates the other, so the solver uses their maximum.
 
+import "repro/internal/num"
+
 // dualAscentBound computes the dual-ascent bound for the subproblem
 // restricted to active rows and available columns.
 func (s *bbState) dualAscentBound(active, avail []bool) float64 {
@@ -37,7 +39,7 @@ func (s *bbState) dualAscentBound(active, avail []bool) float64 {
 			if !usable[j] || !m.covers(j, r) {
 				continue
 			}
-			if raise < 0 || slack[j] < raise {
+			if raise < 0 || num.Below(slack[j], raise) {
 				raise = slack[j]
 			}
 		}
@@ -89,7 +91,7 @@ func (s *bbState) rowsByCoverCount(active, avail []bool) []int {
 func (s *bbState) combinedBound(active, avail []bool) float64 {
 	mis := s.lowerBound(active, avail)
 	da := s.dualAscentBound(active, avail)
-	if da > mis {
+	if num.Stronger(da, mis) {
 		return da
 	}
 	return mis

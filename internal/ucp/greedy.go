@@ -63,7 +63,7 @@ func (m *Matrix) SolveGreedyContext(ctx context.Context) (Solution, error) {
 				if newRows > bestNew {
 					bestJ, bestRatio, bestNew = j, ratio, newRows
 				}
-			case ratio < bestRatio:
+			case num.Less(ratio, bestRatio):
 				bestJ, bestRatio, bestNew = j, ratio, newRows
 			}
 		}
@@ -128,7 +128,7 @@ func (m *Matrix) SolveExhaustiveContext(ctx context.Context) (Solution, error) {
 				}
 			}
 		}
-		if count != m.numRows || cost >= bestCost {
+		if count != m.numRows || num.NoBetter(cost, bestCost) {
 			continue
 		}
 		bestCost = cost

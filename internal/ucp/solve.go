@@ -229,7 +229,7 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 		}
 		cost += extraCost
 		chosen = append(chosen, extraCols...)
-		if cost >= s.bestCost {
+		if num.NoBetter(cost, s.bestCost) {
 			s.stats.Prunes++
 			return
 		}
@@ -246,7 +246,7 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 		}
 	}
 	if remaining == 0 {
-		if cost < s.bestCost {
+		if num.Improves(cost, s.bestCost) {
 			s.bestCost = cost
 			s.bestCols = append([]int(nil), chosen...)
 			s.stats.Incumbents++
@@ -269,7 +269,7 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 
 	// Lower bound: the stronger of the independent-set and dual-ascent
 	// bounds.
-	if cost+s.combinedBound(active, avail) >= s.bestCost {
+	if num.NoBetter(cost+s.combinedBound(active, avail), s.bestCost) {
 		s.stats.Prunes++
 		return
 	}
@@ -294,7 +294,7 @@ func (s *bbState) branch(active, avail []bool, chosen []int, cost float64) {
 	}
 	// Try cheapest-first for better incumbents early.
 	sort.Slice(covering, func(a, b int) bool {
-		return s.m.cols[covering[a]].Weight < s.m.cols[covering[b]].Weight
+		return num.Below(s.m.cols[covering[a]].Weight, s.m.cols[covering[b]].Weight)
 	})
 	for i, j := range covering {
 		if s.interrupted {
@@ -467,13 +467,13 @@ func (s *bbState) lowerBound(active, avail []bool) float64 {
 			if !ok {
 				continue
 			}
-			if m.covers(j, r) && m.cols[j].Weight < minW {
+			if m.covers(j, r) && num.Below(m.cols[j].Weight, minW) {
 				minW = m.cols[j].Weight
 			}
 		}
 		rows = append(rows, rowInfo{r: r, minW: minW})
 	}
-	sort.Slice(rows, func(a, b int) bool { return rows[a].minW > rows[b].minW })
+	sort.Slice(rows, func(a, b int) bool { return num.Stronger(rows[a].minW, rows[b].minW) })
 	for _, ri := range rows {
 		if blocked[ri.r] {
 			continue
@@ -518,4 +518,3 @@ func (s *bbState) hardestRow(active, avail []bool) int {
 	}
 	return best
 }
-
