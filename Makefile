@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 VETTOOL := $(CURDIR)/$(BIN)/cdcsvet
 
-.PHONY: all build test race vet lint lint-self tools bench-gate bench-seed bench-alloc trace-example serve-smoke clean
+.PHONY: all build test race vet lint lint-self tools bench-gate bench-seed bench-alloc trace-example serve-smoke fleet-smoke load clean
 
 all: build test
 
@@ -58,6 +58,17 @@ bench-alloc:
 # /metrics, and shut it down gracefully. See scripts/serve-smoke.sh.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Fleet smoke test: 3 cdcsd replicas wired via -self/-peers, a steady
+# and an overload cdcs-load phase, jq assertions on the JSON reports
+# (errors, balance, p99, shed, forwards). See scripts/fleet-smoke.sh.
+fleet-smoke:
+	sh scripts/fleet-smoke.sh fleet
+
+# Quick load demo: one daemon, one short cdcs-load burst, report on
+# stdout.
+load:
+	sh scripts/fleet-smoke.sh quick
 
 # Produce an example Chrome trace of the WAN synthesis — open
 # $(BIN)/wan-trace.json in chrome://tracing or ui.perfetto.dev.

@@ -95,8 +95,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the algorithm-counter snapshot after the run")
 	reportPath := flag.String("report", "", "write a machine-readable JSON run summary (cost, optimality, degradation) to this file")
 	progress := flag.Bool("progress", false, "stream synthesis progress events (phase boundaries, enumeration levels, incumbents) as NDJSON on stdout")
-	server := flag.String("server", "", "submit to a cdcsd daemon at this base URL (e.g. http://localhost:8080) instead of synthesizing locally")
-	retry := flag.Int("retry", 5, "with -server: attempts per request when the daemon sheds load (429/503; exponential backoff, Retry-After honored)")
+	server := flag.String("server", "", "submit to a cdcsd daemon instead of synthesizing locally; comma-separate fleet replica base URLs (e.g. http://a:8080,http://b:8080) to spread retries across them")
+	retry := flag.Int("retry", 5, "with -server: attempts per request when the daemon sheds load (429/503; rotates through replicas, exponential backoff, Retry-After honored)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/client"
@@ -61,7 +62,7 @@ func runRemote(f remoteFlags) {
 	}
 
 	c := client.New(client.Config{
-		BaseURL:     f.server,
+		BaseURLs:    strings.Split(f.server, ","),
 		MaxAttempts: f.retries,
 		Logger:      status,
 	})
@@ -71,7 +72,11 @@ func runRemote(f remoteFlags) {
 		fmt.Fprintln(os.Stderr, "cdcs: submit:", err)
 		os.Exit(1)
 	}
-	status.Info("job submitted", "server", f.server, "job_id", job.ID, "workload", job.Workload)
+	owner := f.server
+	if job.Server != "" {
+		owner = job.Server
+	}
+	status.Info("job submitted", "server", owner, "job_id", job.ID, "workload", job.Workload)
 	fin, err := c.Wait(ctx, job.ID, 100*time.Millisecond)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdcs: wait:", err)

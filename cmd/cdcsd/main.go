@@ -9,6 +9,7 @@
 //	cdcsd [-addr :8080] [-max-jobs 2] [-retain 64] [-event-buffer 1024]
 //	      [-data-dir DIR] [-snapshot-every 1024] [-fsync-every 1]
 //	      [-shed-watermarks degrade:shed] [-degraded-timeout 2s]
+//	      [-self URL -peers URL,URL,...]
 //	      [-drain-timeout 10s] [-pprof] [-log-level info] [-version]
 //
 // A job walkthrough:
@@ -47,11 +48,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/durable"
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
 
@@ -67,6 +70,8 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records between snapshot compactions")
 	fsyncEvery := flag.Int("fsync-every", 1, "WAL records per batched fsync (group commit; 1 = sync every record)")
 	shedWatermarks := flag.String("shed-watermarks", "", "tiered admission watermarks as degrade:shed unfinished-job loads (default 2*max-jobs:4*max-jobs)")
+	self := flag.String("self", "", "this replica's base URL as peers see it (e.g. http://10.0.0.1:8080); required with -peers")
+	peers := flag.String("peers", "", "comma-separated base URLs of all fleet replicas (self included or not); enables rendezvous job routing and peer forwarding")
 	degradedTimeout := flag.Duration("degraded-timeout", 2*time.Second, "per-job budget cap applied in the degraded admission tier")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -92,6 +97,19 @@ func main() {
 	}
 	shed.DegradedTimeout = *degradedTimeout
 
+	var router *fleet.Router
+	if *peers != "" {
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "cdcsd: -peers requires -self (this replica's base URL)")
+			os.Exit(2)
+		}
+		var err error
+		if router, err = fleet.New(*self, strings.Split(*peers, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "cdcsd: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	version := buildinfo.Version()
 	srv, err := serve.New(serve.Config{
 		MaxConcurrent: *maxJobs,
@@ -105,7 +123,8 @@ func main() {
 			FsyncEvery:    *fsyncEvery,
 			SnapshotEvery: *snapshotEvery,
 		},
-		Shed: shed,
+		Shed:  shed,
+		Fleet: router,
 	})
 	if err != nil {
 		log.Error("startup failed", "error", err.Error())
@@ -131,6 +150,7 @@ func main() {
 		"retain", *retain,
 		"data_dir", *dataDir,
 		"pprof", *enablePprof,
+		"fleet", *peers != "",
 	)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,12 +1,25 @@
-// Package client is the cdcs-side HTTP client for a cdcsd daemon:
-// submit a synthesis job, poll it to completion, and retry overload
-// responses the way the daemon asks. The retry loop treats 429 and
-// 503 — the shed and drain tiers — plus transport errors as
+// Package client is the cdcs-side HTTP client for a cdcsd daemon or
+// fleet: submit a synthesis job, poll it to completion, and retry
+// overload responses the way the daemon asks. The retry loop treats
+// 429 and 503 — the shed and drain tiers — plus transport errors as
 // retryable: it honors an explicit Retry-After hint when the server
 // sends one and otherwise backs off exponentially with equal jitter,
-// up to a capped attempt count. Everything time-shaped (sleeper,
-// jitter) is injectable so the backoff schedule is unit-testable
-// without wall-clock waits.
+// up to a capped attempt count.
+//
+// With multiple endpoints configured the client spreads retries
+// across the fleet: a transport error (replica down, connection
+// refused) rotates to the next endpoint immediately instead of
+// sleeping through a backoff the dead replica will never honor, and a
+// shed/drain response rotates too — Retry-After is a per-replica
+// promise, so trying a different replica right away still honors it.
+// Only once every endpoint has refused in a row does the client
+// sleep (the largest Retry-After seen on the ring, or the backoff).
+// A submission answered by a fleet replica names the replica the job
+// lives on (the envelope's server field); the client pins itself
+// there so Get/Wait poll the right member after a peer forward.
+//
+// Everything time-shaped (sleeper, jitter) is injectable so the
+// backoff schedule is unit-testable without wall-clock waits.
 package client
 
 import (
@@ -21,6 +34,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -29,6 +43,11 @@ import (
 type Config struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8080".
 	BaseURL string
+	// BaseURLs lists every replica of a cdcsd fleet; retries rotate
+	// through them in order before any backoff sleep. BaseURL, when
+	// also set, is tried first. Duplicates collapse after
+	// normalization (whitespace and trailing slash stripped).
+	BaseURLs []string
 	// MaxAttempts bounds tries per request (first attempt included);
 	// <=0 means 5.
 	MaxAttempts int
@@ -49,9 +68,11 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// Client talks to one cdcsd daemon.
+// Client talks to one cdcsd daemon or a fleet of replicas.
 type Client struct {
-	base        string
+	mu          sync.Mutex // guards bases and cur
+	bases       []string
+	cur         int
 	maxAttempts int
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
@@ -64,7 +85,7 @@ type Client struct {
 // New builds a Client from cfg, resolving defaults.
 func New(cfg Config) *Client {
 	c := &Client{
-		base:        strings.TrimSuffix(cfg.BaseURL, "/"),
+		bases:       normalizeBases(cfg.BaseURL, cfg.BaseURLs),
 		maxAttempts: cfg.MaxAttempts,
 		baseBackoff: cfg.BaseBackoff,
 		maxBackoff:  cfg.MaxBackoff,
@@ -94,6 +115,70 @@ func New(cfg Config) *Client {
 	return c
 }
 
+// normalizeBases folds BaseURL and BaseURLs into one ordered, deduped
+// endpoint ring. An all-empty config yields the single empty base the
+// zero-value client always had (requests then hit bare paths).
+func normalizeBases(first string, rest []string) []string {
+	var bases []string
+	seen := make(map[string]bool)
+	for _, raw := range append([]string{first}, rest...) {
+		b := strings.TrimSuffix(strings.TrimSpace(raw), "/")
+		if b == "" || seen[b] {
+			continue
+		}
+		seen[b] = true
+		bases = append(bases, b)
+	}
+	if len(bases) == 0 {
+		bases = []string{""}
+	}
+	return bases
+}
+
+// base returns the endpoint the next request should use.
+func (c *Client) base() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.cur]
+}
+
+// ringSize is the number of distinct endpoints in the rotation.
+func (c *Client) ringSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bases)
+}
+
+// rotate advances to the next endpoint in the ring.
+func (c *Client) rotate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.bases) > 1 {
+		c.cur = (c.cur + 1) % len(c.bases)
+	}
+}
+
+// pin parks the client on the replica that owns a just-accepted job —
+// a fleet daemon may have forwarded the submission to its rendezvous
+// owner, and polling any other replica would 404. Unknown owners are
+// added to the ring.
+func (c *Client) pin(job *Job) {
+	target := strings.TrimSuffix(job.Server, "/")
+	if target == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, b := range c.bases {
+		if b == target {
+			c.cur = i
+			return
+		}
+	}
+	c.bases = append(c.bases, target)
+	c.cur = len(c.bases) - 1
+}
+
 // Job is the daemon's job envelope — the subset of GET /v1/jobs/{id}
 // the client consumes; Result stays raw so the CLI can re-emit it
 // verbatim as a -report file.
@@ -103,6 +188,7 @@ type Job struct {
 	State     string          `json:"state"`
 	Restarted bool            `json:"restarted,omitempty"`
 	Admission string          `json:"admission,omitempty"`
+	Server    string          `json:"server,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 }
@@ -129,18 +215,29 @@ func retryable(code int) bool {
 }
 
 // Submit POSTs a synthesis spec and returns the accepted job,
-// retrying overload responses per the config.
+// retrying overload responses per the config. With a multi-endpoint
+// ring a failed attempt rotates to the next replica immediately — a
+// dead or shedding replica says nothing about its peers — and the
+// client only sleeps once every endpoint has refused in a row, using
+// the largest Retry-After seen on that pass (or the backoff).
 func (c *Client) Submit(ctx context.Context, spec []byte) (*Job, error) {
-	var lastErr error
+	var (
+		lastErr   error
+		ringFails int           // consecutive failures since the last sleep
+		ringHint  time.Duration // largest Retry-After this pass over the ring
+		backoffs  int           // sleeps taken; drives the exponential
+	)
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		base := c.base()
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			c.base+"/v1/synthesize", bytes.NewReader(spec))
+			base+"/v1/synthesize", bytes.NewReader(spec))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		job, retryAfter, err := c.do(req, http.StatusAccepted)
 		if err == nil {
+			c.pin(job)
 			return job, nil
 		}
 		lastErr = err
@@ -151,7 +248,25 @@ func (c *Client) Submit(ctx context.Context, spec []byte) (*Job, error) {
 		if attempt+1 >= c.maxAttempts {
 			break
 		}
-		delay := c.backoff(attempt, retryAfter)
+		ringFails++
+		if retryAfter > ringHint {
+			ringHint = retryAfter
+		}
+		c.rotate()
+		if ringFails < c.ringSize() {
+			// Another replica is untried this pass: move on without
+			// sleeping. The Retry-After (if any) binds only the
+			// replica that sent it, and a refused connection deserves
+			// no backoff at all.
+			if c.log != nil {
+				c.log.Warn("submit rotating to next endpoint",
+					"attempt", attempt+1, "endpoint", base, "next", c.base(), "error", err.Error())
+			}
+			continue
+		}
+		delay := c.backoff(backoffs, ringHint)
+		backoffs++
+		ringFails, ringHint = 0, 0
 		if c.log != nil {
 			c.log.Warn("submit retry", "attempt", attempt+1, "delay", delay.String(), "error", err.Error())
 		}
@@ -163,9 +278,9 @@ func (c *Client) Submit(ctx context.Context, spec []byte) (*Job, error) {
 	return nil, fmt.Errorf("submit failed after %d attempts: %w", c.maxAttempts, lastErr)
 }
 
-// Get fetches a job's current state.
+// Get fetches a job's current state from the pinned endpoint.
 func (c *Client) Get(ctx context.Context, id string) (*Job, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return nil, err
 	}

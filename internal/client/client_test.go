@@ -193,6 +193,150 @@ func TestWaitPollsToTerminal(t *testing.T) {
 	}
 }
 
+// TestDeadEndpointRotatesImmediately: with a fleet configured, a
+// refused connection moves to the next replica without any sleep —
+// backing off against a dead socket just wastes the deadline.
+func TestDeadEndpointRotatesImmediately(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	ts, calls := overloadedServer(0, "")
+	defer ts.Close()
+	sl := &fakeSleeper{}
+	c := New(Config{
+		BaseURLs: []string{deadURL, ts.URL},
+		Sleep:    sl.sleep,
+	})
+	job, err := c.Submit(context.Background(), []byte(`{"example":"wan"}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if job.ID != "j-000001" {
+		t.Errorf("job id = %q", job.ID)
+	}
+	if len(sl.delays) != 0 {
+		t.Errorf("slept %v, want no sleeps: rotation must be immediate", sl.delays)
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Errorf("live server saw %d calls, want 1", got)
+	}
+}
+
+// TestShedRotatesToIdleReplica: a 429 from one replica retries on the
+// next one immediately; its Retry-After binds only the sender.
+func TestShedRotatesToIdleReplica(t *testing.T) {
+	busy, busyCalls := overloadedServer(1000, "7")
+	defer busy.Close()
+	idle, idleCalls := overloadedServer(0, "")
+	defer idle.Close()
+	sl := &fakeSleeper{}
+	c := New(Config{
+		BaseURLs: []string{busy.URL, idle.URL},
+		Sleep:    sl.sleep,
+	})
+	if _, err := c.Submit(context.Background(), []byte(`{"example":"wan"}`)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if len(sl.delays) != 0 {
+		t.Errorf("slept %v, want none: the idle replica was one rotation away", sl.delays)
+	}
+	if b, i := atomic.LoadInt32(busyCalls), atomic.LoadInt32(idleCalls); b != 1 || i != 1 {
+		t.Errorf("calls busy=%d idle=%d, want 1/1", b, i)
+	}
+}
+
+// TestRingExhaustedSleepsLargestHint: when every replica sheds in one
+// pass, the client sleeps once with the largest Retry-After seen, then
+// sweeps the ring again.
+func TestRingExhaustedSleepsLargestHint(t *testing.T) {
+	a, aCalls := overloadedServer(1, "2")
+	defer a.Close()
+	b, bCalls := overloadedServer(1, "5")
+	defer b.Close()
+	sl := &fakeSleeper{}
+	c := New(Config{
+		BaseURLs:    []string{a.URL, b.URL},
+		MaxAttempts: 4,
+		Jitter:      func() float64 { return 1.0 },
+		Sleep:       sl.sleep,
+	})
+	job, err := c.Submit(context.Background(), []byte(`{"example":"wan"}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if job.ID != "j-000001" {
+		t.Errorf("job id = %q", job.ID)
+	}
+	if len(sl.delays) != 1 || sl.delays[0] != 5*time.Second {
+		t.Errorf("delays = %v, want exactly [5s] (the largest hint on the exhausted ring)", sl.delays)
+	}
+	if ac, bc := atomic.LoadInt32(aCalls), atomic.LoadInt32(bCalls); ac != 2 || bc != 1 {
+		t.Errorf("calls a=%d b=%d, want 2/1 (sleep, then resume the sweep at a)", ac, bc)
+	}
+}
+
+// TestSubmitPinsOwnerReplica: a fleet daemon names the replica a
+// forwarded job lives on; Get/Wait must poll that owner, not whichever
+// endpoint happened to take the submission.
+func TestSubmitPinsOwnerReplica(t *testing.T) {
+	var ownerGets int32
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&ownerGets, 1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":"j-000007","state":"done","result":{"cost":1.5}}`))
+	}))
+	defer owner.Close()
+	var frontGets int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			atomic.AddInt32(&frontGets, 1)
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"j-000007","state":"queued","server":"` + owner.URL + `"}`))
+	}))
+	defer front.Close()
+	sl := &fakeSleeper{}
+	c := New(Config{BaseURL: front.URL, Sleep: sl.sleep})
+	job, err := c.Submit(context.Background(), []byte(`{"example":"wan"}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if job.Server != owner.URL {
+		t.Fatalf("job server = %q, want %q", job.Server, owner.URL)
+	}
+	fin, err := c.Wait(context.Background(), job.ID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != "done" {
+		t.Errorf("state = %q", fin.State)
+	}
+	if atomic.LoadInt32(&frontGets) != 0 || atomic.LoadInt32(&ownerGets) == 0 {
+		t.Errorf("polls front=%d owner=%d, want all polls on the pinned owner",
+			atomic.LoadInt32(&frontGets), atomic.LoadInt32(&ownerGets))
+	}
+}
+
+// TestNormalizeBases pins dedup, trimming, and the empty fallback.
+func TestNormalizeBases(t *testing.T) {
+	got := normalizeBases("http://a:1/", []string{" http://b:2 ", "http://a:1", "", "http://b:2/"})
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) {
+		t.Fatalf("bases = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bases[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if empty := normalizeBases("", nil); len(empty) != 1 || empty[0] != "" {
+		t.Errorf("empty config bases = %v, want the single empty base", empty)
+	}
+}
+
 // TestRetryAfterParsing covers the header forms the daemon can emit
 // and the garbage it never should.
 func TestRetryAfterParsing(t *testing.T) {

@@ -46,6 +46,7 @@ const (
 	RecordState  = "state"
 	RecordResult = "result"
 	RecordEvict  = "evict"
+	RecordBatch  = "batch"
 )
 
 // StateRestarted is the state-record value a recovering daemon
@@ -80,6 +81,32 @@ type Record struct {
 	// empty, failed otherwise.
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Batch records: the membership of a POST /v1/batch submission
+	// (Workload carries the batch's label). The member jobs persist
+	// as ordinary job records; this record only binds them to the
+	// batch envelope, so a restart re-queues unfinished members
+	// through the normal job path and still answers GET /v1/batch.
+	Members []BatchMember `json:"members,omitempty"`
+}
+
+// BatchMember is one named slot of a batch: either an admitted job
+// (JobID set, Tier accepted/degraded) or a refusal (Error set — an
+// undecodable spec, a shed, or a full job table).
+type BatchMember struct {
+	Name  string `json:"name,omitempty"`
+	JobID string `json:"jobId,omitempty"`
+	Tier  string `json:"tier,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Batch is the replayed (and snapshotted) durable view of one batch
+// submission. Member job states are not duplicated here — they live
+// with the jobs themselves.
+type Batch struct {
+	ID       string        `json:"id"`
+	Workload string        `json:"workload,omitempty"`
+	Created  time.Time     `json:"created"`
+	Members  []BatchMember `json:"members"`
 }
 
 // Job is the replayed (and snapshotted) durable view of one job.
@@ -99,6 +126,8 @@ type Replay struct {
 	// Jobs are the recovered jobs, oldest first (snapshot order, then
 	// first WAL appearance).
 	Jobs []*Job
+	// Batches are the recovered batch envelopes, oldest first.
+	Batches []*Batch
 	// Records is how many WAL records were applied.
 	Records int
 	// Skipped counts truncated or garbled records that replay dropped
@@ -124,6 +153,10 @@ type Options struct {
 	// Source supplies the current job table for compaction; nil
 	// disables automatic and close-time snapshots.
 	Source func() []Job
+	// BatchSource supplies the current batch envelopes for
+	// compaction; nil snapshots an empty batch set. Only consulted
+	// when Source is set — batches never compact without jobs.
+	BatchSource func() []Batch
 	// Registry receives the durable/wal/* instruments; nil disables.
 	Registry *obs.Registry
 	// Logger receives structured warnings; nil means slog.Default.
@@ -144,14 +177,15 @@ type Store struct {
 	// injected source hook — so no internal path may re-acquire it:
 	//
 	//cdcsvet:lockorder Store.mu -> Store.mu
-	mu         sync.Mutex
-	w          faultfs.File
-	pending    int // records appended since the last fsync
-	sinceSnap  int // records appended since the last snapshot
-	closed     bool
-	fsyncEvery int
-	snapEvery  int
-	source     func() []Job
+	mu          sync.Mutex
+	w           faultfs.File
+	pending     int // records appended since the last fsync
+	sinceSnap   int // records appended since the last snapshot
+	closed      bool
+	fsyncEvery  int
+	snapEvery   int
+	source      func() []Job
+	batchSource func() []Batch
 }
 
 // Open replays dir's snapshot and WAL — tolerating a torn tail — and
@@ -178,17 +212,18 @@ func Open(dir string, opts Options) (*Store, *Replay, error) {
 		return nil, nil, fmt.Errorf("durable: create data dir: %w", err)
 	}
 	s := &Store{
-		dir:        dir,
-		fsys:       opts.FS,
-		now:        opts.Now,
-		log:        opts.Logger,
-		records:    opts.Registry.Counter("durable/wal/records"),
-		fsyncs:     opts.Registry.Counter("durable/wal/fsyncs"),
-		skipped:    opts.Registry.Counter("durable/wal/replay_skipped"),
-		snapshots:  opts.Registry.Counter("durable/wal/snapshots"),
-		fsyncEvery: opts.FsyncEvery,
-		snapEvery:  opts.SnapshotEvery,
-		source:     opts.Source,
+		dir:         dir,
+		fsys:        opts.FS,
+		now:         opts.Now,
+		log:         opts.Logger,
+		records:     opts.Registry.Counter("durable/wal/records"),
+		fsyncs:      opts.Registry.Counter("durable/wal/fsyncs"),
+		skipped:     opts.Registry.Counter("durable/wal/replay_skipped"),
+		snapshots:   opts.Registry.Counter("durable/wal/snapshots"),
+		fsyncEvery:  opts.FsyncEvery,
+		snapEvery:   opts.SnapshotEvery,
+		source:      opts.Source,
+		batchSource: opts.BatchSource,
 	}
 	rep := s.replay()
 	s.skipped.Add(int64(rep.Skipped))
@@ -224,6 +259,13 @@ func (s *Store) AppendResult(id string, result json.RawMessage, errMsg string) e
 // AppendEvict records that the serving layer dropped a finished job.
 func (s *Store) AppendEvict(id string) error {
 	return s.append(&Record{T: RecordEvict, ID: id, Time: s.now()})
+}
+
+// AppendBatch records a batch envelope: its label and the per-member
+// admission outcomes. Member jobs are appended separately via
+// AppendJob; replaying the batch record alone restores the grouping.
+func (s *Store) AppendBatch(id, workload string, created time.Time, members []BatchMember) error {
+	return s.append(&Record{T: RecordBatch, ID: id, Time: created, Workload: workload, Members: members})
 }
 
 func (s *Store) append(rec *Record) error {
@@ -286,10 +328,15 @@ func (s *Store) Compact() error {
 // the old snapshot + full WAL, crash after it leaves the new snapshot
 // + stale-but-reapplyable WAL records (replay is idempotent per job).
 func (s *Store) compactLocked(jobs []Job) error {
+	var batches []Batch
+	if s.batchSource != nil {
+		batches = s.batchSource()
+	}
 	data, err := json.Marshal(struct {
-		V    int   `json:"v"`
-		Jobs []Job `json:"jobs"`
-	}{V: 1, Jobs: jobs})
+		V       int     `json:"v"`
+		Jobs    []Job   `json:"jobs"`
+		Batches []Batch `json:"batches,omitempty"`
+	}{V: 1, Jobs: jobs, Batches: batches})
 	if err != nil {
 		return fmt.Errorf("encode snapshot: %w", err)
 	}

@@ -16,11 +16,13 @@ import (
 func (s *Store) replay() *Replay {
 	rep := &Replay{}
 	byID := make(map[string]*Job)
+	batchByID := make(map[string]*Batch)
 
 	if data, err := s.fsys.ReadFile(filepath.Join(s.dir, snapshotFile)); err == nil {
 		var snap struct {
-			V    int   `json:"v"`
-			Jobs []Job `json:"jobs"`
+			V       int     `json:"v"`
+			Jobs    []Job   `json:"jobs"`
+			Batches []Batch `json:"batches"`
 		}
 		if jerr := json.Unmarshal(data, &snap); jerr != nil {
 			rep.Skipped++
@@ -32,6 +34,11 @@ func (s *Store) replay() *Replay {
 				j := snap.Jobs[i]
 				byID[j.ID] = &j
 				rep.Jobs = append(rep.Jobs, &j)
+			}
+			for i := range snap.Batches {
+				b := snap.Batches[i]
+				batchByID[b.ID] = &b
+				rep.Batches = append(rep.Batches, &b)
 			}
 		}
 	} else if !errors.Is(err, fs.ErrNotExist) {
@@ -59,7 +66,7 @@ func (s *Store) replay() *Replay {
 			rep.Skipped++
 			continue
 		}
-		if !s.apply(rep, byID, &rec) {
+		if !s.apply(rep, byID, batchByID, &rec) {
 			rep.Skipped++
 			continue
 		}
@@ -71,11 +78,24 @@ func (s *Store) replay() *Replay {
 // apply folds one record into the replay state; false means the
 // record is malformed or references a job replay never saw (its job
 // record was itself lost) and should be counted as skipped.
-func (s *Store) apply(rep *Replay, byID map[string]*Job, rec *Record) bool {
+func (s *Store) apply(rep *Replay, byID map[string]*Job, batchByID map[string]*Batch, rec *Record) bool {
 	if rec.ID == "" {
 		return false
 	}
 	switch rec.T {
+	case RecordBatch:
+		if b, dup := batchByID[rec.ID]; dup {
+			// Snapshot + stale WAL overlap: refresh in place, keeping
+			// the original replay position.
+			b.Workload = rec.Workload
+			b.Created = rec.Time
+			b.Members = rec.Members
+			return true
+		}
+		b := &Batch{ID: rec.ID, Workload: rec.Workload, Created: rec.Time, Members: rec.Members}
+		batchByID[rec.ID] = b
+		rep.Batches = append(rep.Batches, b)
+		return true
 	case RecordJob:
 		if _, dup := byID[rec.ID]; dup {
 			// Snapshot + stale WAL overlap after a crash between

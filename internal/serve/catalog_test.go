@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"os"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/load"
 )
 
 // TestMetricCatalogMatchesDocs cross-checks the metric names the code
@@ -17,7 +21,9 @@ import (
 // genuinely registered by its real code path — with a data dir, so
 // the durable/wal/* instruments are registered by a real store too —
 // then snapshots the shared registry (which a full exact run
-// populates with every algorithm counter).
+// populates with every algorithm counter). The cdcs-load generator's
+// load/* counters share the catalog, so a tiny load.Run against the
+// same server publishes them into the same registry first.
 func TestMetricCatalogMatchesDocs(t *testing.T) {
 	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxJobs: 1, DataDir: t.TempDir()})
 
@@ -47,6 +53,21 @@ func TestMetricCatalogMatchesDocs(t *testing.T) {
 		t.Fatalf("failing submit status = %d", code)
 	}
 	waitJob(t, ts, fj.ID)
+
+	// Load-generator path: one tiny burst registers every load/*
+	// counter in the shared registry. Values are irrelevant here —
+	// only the registered names are cross-checked.
+	loadCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := load.Run(loadCtx, load.Config{
+		Targets:  []string{ts.URL},
+		QPS:      20,
+		Duration: 100 * time.Millisecond,
+		Deadline: 20 * time.Second,
+		Registry: srv.Registry(),
+	}); err != nil {
+		t.Fatalf("load.Run: %v", err)
+	}
 
 	registered := make(map[string]bool)
 	snap := srv.Registry().Snapshot()

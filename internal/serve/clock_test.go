@@ -65,8 +65,8 @@ func TestClockAdvanceSeparatesTimestamps(t *testing.T) {
 	// the job can finish, so advancing the clock there splits the
 	// lifetime deterministically: created = started = t0, finished =
 	// t0 + 1h.
-	testJobStartHook = func(j *Job) { clock.Advance(time.Hour) }
-	defer func() { testJobStartHook = nil }()
+	setTestJobStartHook(func(j *Job) { clock.Advance(time.Hour) })
+	defer setTestJobStartHook(nil)
 
 	srv, ts := newTestServer(t, Config{Now: clock.Now})
 	j, _ := submit(t, ts, `{"example":"wan","options":{"workers":1}}`)

@@ -49,14 +49,14 @@ func TestEvictionSkipsQueuedJobs(t *testing.T) {
 	defer releaseAll()
 	started := make(chan string, 8)
 	var hookCalls int32
-	testJobStartHook = func(j *Job) {
+	setTestJobStartHook(func(j *Job) {
 		if atomic.AddInt32(&hookCalls, 1) == 1 {
 			return
 		}
 		started <- j.ID
 		<-release
-	}
-	defer func() { testJobStartHook = nil }()
+	})
+	defer setTestJobStartHook(nil)
 
 	_, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxJobs: 3})
 

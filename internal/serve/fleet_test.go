@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// fleetMember is one test replica: its httptest front end is created
+// first (so the fleet addresses are known), then the Server is built
+// with the full membership and patched in behind the handler.
+type fleetMember struct {
+	srv     *Server
+	ts      *httptest.Server
+	install func(http.Handler)
+}
+
+// newTestFleet starts n replicas that all share one membership list.
+func newTestFleet(t *testing.T, n int, cfg Config) []fleetMember {
+	t.Helper()
+	members := make([]fleetMember, n)
+	urls := make([]string, n)
+	for i := range members {
+		var (
+			mu sync.Mutex
+			h  http.Handler
+		)
+		i := i
+		members[i].ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			handler := h
+			mu.Unlock()
+			if handler == nil {
+				http.Error(w, "not ready", http.StatusServiceUnavailable)
+				return
+			}
+			handler.ServeHTTP(w, r)
+		}))
+		urls[i] = members[i].ts.URL
+		setHandler := func(nh http.Handler) {
+			mu.Lock()
+			h = nh
+			mu.Unlock()
+		}
+		members[i].install = setHandler
+	}
+	for i := range members {
+		router, err := fleet.New(urls[i], urls)
+		if err != nil {
+			t.Fatalf("fleet.New: %v", err)
+		}
+		c := cfg
+		c.Fleet = router
+		c.Logger = discardLogger()
+		srv, err := New(c)
+		if err != nil {
+			t.Fatalf("serve.New replica %d: %v", i, err)
+		}
+		members[i].srv = srv
+		members[i].install(srv.Handler())
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			m.ts.Close()
+			drainServer(t, m.srv)
+		}
+	})
+	return members
+}
+
+func drainServer(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Drain(ctx)
+}
+
+func TestFleetEndpointStandalone(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fj fleetJSON
+	if err := json.NewDecoder(resp.Body).Decode(&fj); err != nil {
+		t.Fatal(err)
+	}
+	if fj.Enabled || fj.Self != "" || len(fj.Peers) != 0 {
+		t.Errorf("standalone fleet status = %+v, want disabled", fj)
+	}
+	if fj.ShedAt == 0 {
+		t.Error("fleet status must report the shed watermark even standalone")
+	}
+}
+
+// workloadOwnedBy finds a workload label the router assigns to the
+// wanted peer, so forwarding tests can steer deterministically.
+func workloadOwnedBy(t *testing.T, r *fleet.Router, owner string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("wl-%d", i)
+		if r.Route(key) == owner {
+			return key
+		}
+	}
+	t.Fatalf("no workload routes to %s", owner)
+	return ""
+}
+
+// TestFleetForwardsPastDegrade: a replica past its degrade watermark
+// hands a submission it does not own to the rendezvous owner; the
+// passed-through envelope names the owner, and the job lives there.
+func TestFleetForwardsPastDegrade(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	setTestJobStartHook(func(j *Job) { <-release })
+	defer setTestJobStartHook(nil)
+
+	members := newTestFleet(t, 2, Config{
+		MaxConcurrent: 1,
+		Shed:          ShedConfig{DegradeAt: 1, ShedAt: 99},
+	})
+	a, b := members[0], members[1]
+
+	// One parked job puts A at its degrade watermark.
+	if _, code := submit(t, a.ts, `{"example":"wan","options":{"workers":1}}`); code != http.StatusAccepted {
+		t.Fatalf("filler job status = %d", code)
+	}
+
+	// B is idle, so the forwarded job is accepted at full budget there.
+	wl := workloadOwnedBy(t, a.srv.fleet, b.ts.URL)
+	body := fmt.Sprintf(`{"example":"wan","workload":%q,"options":{"workers":1}}`, wl)
+	j, code := submit(t, a.ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("forwarded submit status = %d, want 202", code)
+	}
+	if j.Server != b.ts.URL {
+		t.Fatalf("job server = %q, want owner %q", j.Server, b.ts.URL)
+	}
+	if j.Admission != "" {
+		t.Errorf("job admission = %q, want accepted on the idle owner", j.Admission)
+	}
+	if a.srv.getJob(j.ID) != nil && b.srv.getJob(j.ID) == nil {
+		t.Error("job must live on the owner replica, not the forwarder")
+	}
+	if b.srv.getJob(j.ID) == nil {
+		t.Fatal("job not found on the owner replica")
+	}
+	if got := a.srv.Registry().Snapshot().CounterMap()["fleet/forwarded"]; got != 1 {
+		t.Errorf("forwarder fleet/forwarded = %d, want 1", got)
+	}
+
+	// A self-owned workload stays local even past the watermark.
+	selfWl := workloadOwnedBy(t, a.srv.fleet, a.ts.URL)
+	j2, code := submit(t, a.ts, fmt.Sprintf(`{"example":"wan","workload":%q,"options":{"workers":1}}`, selfWl))
+	if code != http.StatusAccepted {
+		t.Fatalf("self-owned submit status = %d", code)
+	}
+	if j2.Server != a.ts.URL || j2.Admission != TierDegrade {
+		t.Errorf("self-owned job = server %q admission %q, want local degraded", j2.Server, j2.Admission)
+	}
+
+	// A forwarded request is never re-forwarded: B, also configured
+	// with A as a peer, admits it locally despite the marker.
+	req, _ := http.NewRequest(http.MethodPost, b.ts.URL+"/v1/synthesize",
+		strings.NewReader(`{"example":"wan","options":{"workers":1}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, a.ts.URL)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j3 jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j3); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if j3.Server != b.ts.URL {
+		t.Errorf("marked request landed on %q, want local admission on B", j3.Server)
+	}
+	once.Do(func() { close(release) })
+}
+
+// TestFleetForwardFailureFallsBack: a dead owner peer must not take
+// the forwarder down with it — the submission is admitted locally at
+// its tier and the failure counted.
+func TestFleetForwardFailsOpen(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	setTestJobStartHook(func(j *Job) { <-release })
+	defer setTestJobStartHook(nil)
+
+	// A real replica plus a peer address nobody listens on.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	var (
+		mu sync.Mutex
+		h  http.Handler
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		handler := h
+		mu.Unlock()
+		handler.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	router, err := fleet.New(ts.URL, []string{ts.URL, deadURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		MaxConcurrent: 1,
+		Shed:          ShedConfig{DegradeAt: 1, ShedAt: 99},
+		Fleet:         router,
+		Logger:        discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	h = srv.Handler()
+	mu.Unlock()
+
+	if _, code := submit(t, &httptest.Server{URL: ts.URL}, `{"example":"wan","options":{"workers":1}}`); code != http.StatusAccepted {
+		t.Fatal("filler job rejected")
+	}
+	wl := workloadOwnedBy(t, router, deadURL)
+	j, code := submit(t, &httptest.Server{URL: ts.URL}, fmt.Sprintf(`{"example":"wan","workload":%q,"options":{"workers":1}}`, wl))
+	if code != http.StatusAccepted {
+		t.Fatalf("fallback submit status = %d, want 202 local degraded admission", code)
+	}
+	if j.Admission != TierDegrade || j.Server != ts.URL {
+		t.Errorf("fallback job = admission %q server %q, want local degraded", j.Admission, j.Server)
+	}
+	snap := srv.Registry().Snapshot().CounterMap()
+	if snap["fleet/forward_failed"] != 1 || snap["fleet/forwarded"] != 0 {
+		t.Errorf("forward counters = forwarded %d failed %d, want 0/1",
+			snap["fleet/forwarded"], snap["fleet/forward_failed"])
+	}
+	once.Do(func() { close(release) })
+	drainServer(t, srv)
+}

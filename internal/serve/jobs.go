@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -122,10 +124,14 @@ type jobJSON struct {
 	// durable log after a daemon restart.
 	Restarted bool `json:"restarted,omitempty"`
 	// Admission reports a non-default admission tier ("degraded").
-	Admission string  `json:"admission,omitempty"`
-	Error     string  `json:"error,omitempty"`
-	Result    *Result `json:"result,omitempty"`
-	Links     links   `json:"links"`
+	Admission string `json:"admission,omitempty"`
+	// Server names the fleet replica the job lives on (set only when
+	// fleet routing is configured): after a peer forward, the address
+	// the client must poll.
+	Server string  `json:"server,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	Links  links   `json:"links"`
 }
 
 type links struct {
@@ -197,11 +203,17 @@ func decodeInstance(req *SynthesizeRequest) (*cdcs.ConstraintGraph, *cdcs.Librar
 	switch req.Example {
 	case "wan":
 		return workloads.WAN(), workloads.WANLibrary(), "wan", nil
+	case "lan":
+		return workloads.LAN(), workloads.LANLibrary(), "lan", nil
+	case "mcm":
+		return workloads.MCM(), workloads.MCMLibrary(), "mcm", nil
+	case "noc":
+		return workloads.NoC(), workloads.NoCLibrary(), "noc", nil
 	case "mpeg4":
 		return workloads.MPEG4(), workloads.MPEG4Technology().Library(), "mpeg4", nil
 	case "":
 	default:
-		return nil, nil, "", fmt.Errorf("unknown example %q (wan, mpeg4)", req.Example)
+		return nil, nil, "", fmt.Errorf("unknown example %q (wan, lan, mcm, noc, mpeg4)", req.Example)
 	}
 	if len(req.Graph) == 0 || len(req.Library) == 0 {
 		return nil, nil, "", errors.New("need graph and library, or example")
@@ -218,8 +230,15 @@ func decodeInstance(req *SynthesizeRequest) (*cdcs.ConstraintGraph, *cdcs.Librar
 }
 
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	// Buffer the body: a fleet forward re-sends the same bytes to the
+	// workload's owner.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
 	var req SynthesizeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "decode request: %v", err)
@@ -232,6 +251,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Workload != "" {
 		workload = req.Workload
+	}
+	if s.maybeForward(w, r, body, workload) {
+		return
 	}
 
 	s.mu.Lock()
@@ -266,6 +288,27 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			"job table full (%d jobs, none finished)", s.cfg.MaxJobs)
 		return
 	}
+	j := s.newJobLocked(req, cg, lib, workload, tier)
+	s.mu.Unlock()
+
+	s.reg.Counter("serve/shed/" + tier).Add(1)
+	s.reg.Counter("serve/jobs_submitted").Add(1)
+	if evicted != "" {
+		s.persistEvict(evicted)
+	}
+	s.persistJob(j)
+	s.log.Info("job submitted",
+		"job_id", j.ID, "workload", j.Workload, "tier", tier, "load", load,
+		"queue_cap", s.cfg.MaxConcurrent)
+	go s.runJob(j)
+	writeJSON(w, http.StatusAccepted, s.jobView(j))
+}
+
+// newJobLocked creates and registers one admitted job. Caller holds
+// s.mu, has classified the tier (not TierShed) and made room with
+// evictLocked; the caller persists the job and starts runJob after
+// releasing the lock.
+func (s *Server) newJobLocked(req SynthesizeRequest, cg *cdcs.ConstraintGraph, lib *cdcs.Library, workload, tier string) *Job {
 	s.nextID++
 	j := &Job{
 		ID:       fmt.Sprintf("j-%06d", s.nextID),
@@ -287,27 +330,32 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, j.ID)
 	s.active++
 	s.wg.Add(1)
-	s.mu.Unlock()
-
-	s.reg.Counter("serve/shed/" + tier).Add(1)
-	s.reg.Counter("serve/jobs_submitted").Add(1)
-	if evicted != "" {
-		s.persistEvict(evicted)
-	}
-	s.persistJob(j)
-	s.log.Info("job submitted",
-		"job_id", j.ID, "workload", j.Workload, "tier", tier, "load", load,
-		"queue_cap", s.cfg.MaxConcurrent)
-	go s.runJob(j)
-	writeJSON(w, http.StatusAccepted, j.json())
+	return j
 }
 
 // testJobStartHook, when non-nil, is called by runJob after a job has
 // acquired its concurrency slot and entered StateRunning, before
 // synthesis begins. Tests use it to hold a job in the running state so
 // the table can be filled with a known mix of finished, running and
-// queued jobs.
-var testJobStartHook func(j *Job)
+// queued jobs. Access only through setTestJobStartHook/jobStartHook:
+// runJob goroutines can outlive the test that installed the hook, so
+// the bare variable would race with teardown clearing it.
+var (
+	testHookMu       sync.Mutex
+	testJobStartHook func(j *Job)
+)
+
+func setTestJobStartHook(fn func(j *Job)) {
+	testHookMu.Lock()
+	defer testHookMu.Unlock()
+	testJobStartHook = fn
+}
+
+func jobStartHook() func(j *Job) {
+	testHookMu.Lock()
+	defer testHookMu.Unlock()
+	return testJobStartHook
+}
 
 // evictLocked makes room for one more job, dropping finished jobs
 // oldest-first. It reports whether the table has room, and the ID it
@@ -365,8 +413,8 @@ func (s *Server) runJob(j *Job) {
 
 	j.setState(StateRunning)
 	s.persistState(j, StateRunning)
-	if testJobStartHook != nil {
-		testJobStartHook(j)
+	if hook := jobStartHook(); hook != nil {
+		hook(j)
 	}
 	inflight := s.reg.Gauge("serve/jobs_inflight")
 	inflight.Add(1)
@@ -465,7 +513,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.json())
+	writeJSON(w, http.StatusOK, s.jobView(j))
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -473,7 +521,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	out := make([]jobJSON, 0, len(s.order))
 	for _, id := range s.order {
 		if j := s.jobs[id]; j != nil {
-			out = append(out, j.json())
+			out = append(out, s.jobView(j))
 		}
 	}
 	s.mu.Unlock()

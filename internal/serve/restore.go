@@ -57,6 +57,27 @@ func (s *Server) persistResult(j *Job) {
 	}
 }
 
+// persistBatch logs a batch envelope. Member jobs are persisted as
+// ordinary job records — the envelope only binds the membership, so a
+// crash mid-batch re-queues exactly the unfinished members through
+// the normal job replay.
+func (s *Server) persistBatch(b *batch) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.AppendBatch(b.id, b.workload, b.created, b.durableMembers()); err != nil {
+		s.walWarn("batch", b.id, err)
+	}
+}
+
+func (b *batch) durableMembers() []durable.BatchMember {
+	out := make([]durable.BatchMember, len(b.members))
+	for i, m := range b.members {
+		out[i] = durable.BatchMember{Name: m.name, JobID: m.jobID, Tier: m.tier, Error: m.err}
+	}
+	return out
+}
+
 func (s *Server) persistEvict(id string) {
 	if s.store == nil {
 		return
@@ -99,6 +120,28 @@ func (s *Server) snapshotTable() []durable.Job {
 			continue
 		}
 		out = append(out, j.durable())
+	}
+	return out
+}
+
+// snapshotBatches renders the retained batch envelopes for WAL
+// compaction — the durable.Options.BatchSource hook. Takes s.mu, so
+// the store must never be called while holding it.
+func (s *Server) snapshotBatches() []durable.Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]durable.Batch, 0, len(s.batchOrder))
+	for _, id := range s.batchOrder {
+		b := s.batches[id]
+		if b == nil {
+			continue
+		}
+		out = append(out, durable.Batch{
+			ID:       b.id,
+			Workload: b.workload,
+			Created:  b.created,
+			Members:  b.durableMembers(),
+		})
 	}
 	return out
 }
@@ -184,9 +227,34 @@ func (s *Server) restore(rep *durable.Replay) {
 		s.wg.Add(1)
 		go s.runJob(j)
 	}
-	if restoredDone > 0 || len(requeued) > 0 {
+	// Rebind batch envelopes to their (restored or re-queued) member
+	// jobs, oldest dropped beyond the retention bound. Members whose
+	// jobs aged out stay listed without a live job view.
+	dbs := rep.Batches
+	if over := len(dbs) - s.cfg.MaxJobs; over > 0 {
+		dbs = dbs[over:]
+	}
+	for _, db := range dbs {
+		var n int
+		if _, err := fmt.Sscanf(db.ID, "b-%d", &n); err == nil && n > s.nextBatch {
+			s.nextBatch = n
+		}
+		b := &batch{
+			id:       db.ID,
+			workload: db.Workload,
+			created:  db.Created,
+			restored: true,
+			members:  make([]batchMember, len(db.Members)),
+		}
+		for i, m := range db.Members {
+			b.members[i] = batchMember{name: m.Name, jobID: m.JobID, tier: m.Tier, err: m.Error}
+		}
+		s.batches[b.id] = b
+		s.batchOrder = append(s.batchOrder, b.id)
+	}
+	if restoredDone > 0 || len(requeued) > 0 || len(dbs) > 0 {
 		s.log.Info("job table restored",
-			"finished", restoredDone, "requeued", len(requeued),
+			"finished", restoredDone, "requeued", len(requeued), "batches", len(dbs),
 			"replayed_records", rep.Records, "skipped", rep.Skipped)
 	}
 }

@@ -40,14 +40,14 @@ func TestCrashRecovery(t *testing.T) {
 	defer releaseAll()
 	started := make(chan string, 8)
 	var hookCalls int32
-	testJobStartHook = func(j *Job) {
+	setTestJobStartHook(func(j *Job) {
 		if atomic.AddInt32(&hookCalls, 1) == 1 {
 			return
 		}
 		started <- j.ID
 		<-release
-	}
-	defer func() { testJobStartHook = nil }()
+	})
+	defer setTestJobStartHook(nil)
 
 	srv1, err := New(Config{MaxConcurrent: 1, DataDir: dir, Logger: discardLogger()})
 	if err != nil {
@@ -95,7 +95,7 @@ func TestCrashRecovery(t *testing.T) {
 	_ = f.Close()
 
 	// Second daemon, same directory. Jobs must re-run unparked.
-	testJobStartHook = nil
+	setTestJobStartHook(nil)
 	srv2, ts2 := newTestServer(t, Config{MaxConcurrent: 1, DataDir: dir})
 
 	if got := srv2.Registry().Snapshot().CounterMap()["durable/wal/replay_skipped"]; got != 1 {

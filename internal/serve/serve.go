@@ -10,9 +10,14 @@
 //
 //	POST /v1/synthesize        submit a job (JSON graph+library or a
 //	                           built-in example); 202 + job id
+//	POST /v1/batch             submit many named graphs at once; 202 +
+//	                           per-member admission envelope, or
+//	                           ?stream=ndjson for results as they land
+//	GET  /v1/batch/{id}        batch envelope with live member state
 //	GET  /v1/jobs              list jobs, oldest first
 //	GET  /v1/jobs/{id}         job state + result
 //	GET  /v1/jobs/{id}/events  SSE: replayed history, then live tail
+//	GET  /v1/fleet             replica membership, load and forwarding
 //	GET  /metrics              Prometheus text format 0.0.4
 //	GET  /healthz              liveness + version
 //	GET  /readyz               readiness (503 while draining)
@@ -48,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 )
 
@@ -85,6 +91,11 @@ type Config struct {
 	// Shed sets the tiered load-shedding watermarks; the zero value
 	// derives them from MaxConcurrent.
 	Shed ShedConfig
+	// Fleet, when set, makes this replica fleet-aware: submissions
+	// past the degrade watermark are forwarded to their rendezvous
+	// owner, and GET /v1/fleet reports membership and forwarding
+	// counters. Nil means standalone.
+	Fleet *fleet.Router
 	// Now is the server's clock (job timestamps, durations); nil
 	// means time.Now. Tests inject a frozen clock for deterministic
 	// job lifetimes.
@@ -100,6 +111,11 @@ type Server struct {
 	mux  *http.ServeMux
 	now  func() time.Time
 	shed ShedConfig
+
+	// fleet is the replica's routing view; nil when standalone.
+	// fleetClient carries peer forwards.
+	fleet       *fleet.Router
+	fleetClient *http.Client
 
 	// store persists the job table; nil without Config.DataDir.
 	store *durable.Store
@@ -127,6 +143,12 @@ type Server struct {
 	nextID   int
 	active   int // unfinished jobs (queued + running): the shed load
 	draining bool
+
+	// batches binds member jobs of POST /v1/batch submissions; bounded
+	// to MaxJobs envelopes, oldest dropped first.
+	batches    map[string]*batch
+	batchOrder []string
+	nextBatch  int
 }
 
 // New returns a ready-to-serve Server. With Config.DataDir set it
@@ -157,13 +179,23 @@ func New(cfg Config) (*Server, error) {
 		runCtx:    ctx,
 		cancelRun: cancel,
 		jobs:      make(map[string]*Job),
+		batches:   make(map[string]*batch),
+		fleet:     cfg.Fleet,
+	}
+	if s.fleet != nil {
+		s.fleetClient = &http.Client{Timeout: fleetHTTPTimeout}
 	}
 	s.sem = make(chan struct{}, cfg.MaxConcurrent)
-	// Register the admission counters eagerly so /metrics (and the
-	// catalog-drift test) always expose the full tier split.
+	// Register the admission and batch counters eagerly so /metrics
+	// (and the catalog-drift test) always expose the full split.
 	for _, tier := range []string{TierAccept, TierDegrade, TierShed} {
 		s.reg.Counter("serve/shed/" + tier)
 	}
+	for _, name := range []string{"submitted", "members", "rejected"} {
+		s.reg.Counter("serve/batch/" + name)
+	}
+	s.reg.Counter("fleet/forwarded")
+	s.reg.Counter("fleet/forward_failed")
 	s.routes()
 	if cfg.DataDir != "" {
 		opts := cfg.Durable
@@ -173,6 +205,7 @@ func New(cfg Config) (*Server, error) {
 			opts.Now = s.now
 		}
 		opts.Source = s.snapshotTable
+		opts.BatchSource = s.snapshotBatches
 		store, replay, err := durable.Open(cfg.DataDir, opts)
 		if err != nil {
 			cancel()
@@ -196,9 +229,12 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/batch/{id}", s.handleBatchGet)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)

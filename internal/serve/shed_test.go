@@ -25,8 +25,8 @@ func TestTieredLoadShedding(t *testing.T) {
 	var releaseOnce sync.Once
 	releaseAll := func() { releaseOnce.Do(func() { close(release) }) }
 	defer releaseAll()
-	testJobStartHook = func(j *Job) { <-release }
-	defer func() { testJobStartHook = nil }()
+	setTestJobStartHook(func(j *Job) { <-release })
+	defer setTestJobStartHook(nil)
 
 	srv, ts := newTestServer(t, Config{
 		MaxConcurrent: 1,

@@ -7,7 +7,10 @@
 # A second leg proves crash recovery: a daemon with -data-dir is
 # kill -9'd mid-job, restarted on the same directory, and must serve
 # the finished job's result unchanged while re-running the
-# interrupted job marked "restarted".
+# interrupted job marked "restarted". Batch legs ride along in both:
+# a 3-graph POST /v1/batch must yield 3 results, and a batch caught
+# by the kill -9 must come back with its finished members' results
+# intact and only the interrupted member re-run.
 # Used by `make serve-smoke` and CI's serve-smoke job. Requires curl;
 # uses no other tooling beyond the Go toolchain and POSIX sh.
 set -eu
@@ -83,6 +86,27 @@ printf '%s\n' "$metrics" | grep -q '^serve_jobs_completed_total 1$' \
 printf '%s\n' "$metrics" | grep -Eq '^ucp_nodes_total [0-9]+$' \
     || fail "/metrics has no ucp_nodes_total sample"
 
+# ---- Batch leg: three named graphs in one request, three results.
+batch=$(curl -fsS -X POST "http://$ADDR/v1/batch" \
+    -d '{"workload":"smoke-batch","graphs":[{"name":"a","example":"wan","options":{"workers":1}},{"name":"b","example":"lan","options":{"workers":1}},{"name":"c","example":"mcm","options":{"workers":1}}]}')
+bid=$(printf '%s' "$batch" | sed -n 's/.*"id": *"\(b-[0-9]*\)".*/\1/p' | head -n 1)
+[ -n "$bid" ] || fail "no batch id in response: $batch"
+bjson=""
+bdone=""
+for _ in $(seq 1 100); do
+    bjson=$(curl -fsS "http://$ADDR/v1/batch/$bid")
+    if printf '%s' "$bjson" | grep -q '"done": *true'; then
+        bdone=yes
+        break
+    fi
+    sleep 0.1
+done
+[ "$bdone" = yes ] || fail "batch $bid did not finish: $bjson"
+n=$(printf '%s' "$bjson" | grep -c '"state": *"done"') || true
+[ "$n" -eq 3 ] || fail "batch $bid has $n done members, want 3: $bjson"
+curl -fsS "http://$ADDR/metrics" | grep -q '^serve_batch_members_total 3$' \
+    || fail "/metrics did not count the 3 batch members"
+
 # Graceful shutdown: SIGTERM drains and the process exits cleanly.
 kill "$PID"
 i=0
@@ -116,6 +140,25 @@ for _ in $(seq 1 100); do
 done
 [ "$state" = done ] || fail "durable job A did not finish (state: $state)"
 costA=$(curl -fsS "http://$ADDR/v1/jobs/$idA" | sed -n 's/.*"cost": *\([0-9.]*\).*/\1/p')
+
+# A batch with two fast members and one slow one: the fast members
+# finish before the crash, the slow one is caught mid-run. Submitted
+# while both job slots are free so the fast members cannot starve
+# behind a pair of big jobs.
+cbatch=$(curl -fsS -X POST "http://$ADDR/v1/batch" \
+    -d '{"workload":"crash-batch","graphs":[{"name":"fast-wan","example":"wan","options":{"workers":1}},{"name":"fast-lan","example":"lan","options":{"workers":1}},{"name":"slow","example":"mpeg4","options":{"workers":1}}]}')
+cbid=$(printf '%s' "$cbatch" | sed -n 's/.*"id": *"\(b-[0-9]*\)".*/\1/p' | head -n 1)
+[ -n "$cbid" ] || fail "no batch id in durable batch response: $cbatch"
+fastdone=""
+for _ in $(seq 1 300); do
+    n=$(curl -fsS "http://$ADDR/v1/batch/$cbid" | grep -c '"state": *"done"') || true
+    if [ "$n" -ge 2 ]; then
+        fastdone=yes
+        break
+    fi
+    sleep 0.1
+done
+[ "$fastdone" = yes ] || fail "fast batch members did not finish before the crash"
 
 # Job B is the big instance on one worker (~seconds): the kill below
 # lands mid-run, so the restarted daemon must re-queue it.
@@ -156,6 +199,27 @@ done
 curl -fsS "http://$ADDR/v1/jobs/$idB" | grep -q '"restarted": *true' \
     || fail "re-run job B is not marked restarted"
 
+# The batch must survive the crash: restored envelope, finished
+# members untouched, only the interrupted member re-run.
+bjson=$(curl -fsS "http://$ADDR/v1/batch/$cbid") \
+    || fail "batch $cbid not restored after kill -9"
+printf '%s' "$bjson" | grep -q '"restored": *true' \
+    || fail "restored batch is not marked restored: $bjson"
+bdone=""
+for _ in $(seq 1 300); do
+    bjson=$(curl -fsS "http://$ADDR/v1/batch/$cbid")
+    if printf '%s' "$bjson" | grep -q '"done": *true'; then
+        bdone=yes
+        break
+    fi
+    sleep 0.1
+done
+[ "$bdone" = yes ] || fail "restored batch did not finish: $bjson"
+n=$(printf '%s' "$bjson" | grep -c '"state": *"done"') || true
+[ "$n" -eq 3 ] || fail "restored batch has $n done members, want 3: $bjson"
+n=$(printf '%s' "$bjson" | grep -c '"restarted": *true') || true
+[ "$n" -eq 1 ] || fail "restored batch has $n restarted members, want exactly the interrupted one: $bjson"
+
 # The durability and admission instruments are on /metrics.
 metrics=$(curl -fsS "http://$ADDR/metrics")
 printf '%s\n' "$metrics" | grep -Eq '^durable_wal_records_total [0-9]+$' \
@@ -172,4 +236,4 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 trap - EXIT INT TERM
 
-echo "serve-smoke: OK (job $id optimal, SSE incumbents seen, metrics scraped; crash recovery: $idA restored, $idB re-run)"
+echo "serve-smoke: OK (job $id optimal, batch $bid complete, SSE incumbents seen, metrics scraped; crash recovery: $idA restored, $idB re-run, batch $cbid survived)"
