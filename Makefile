@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 VETTOOL := $(CURDIR)/$(BIN)/cdcsvet
 
-.PHONY: all build test race vet lint lint-self tools bench-gate bench-seed bench-alloc trace-example serve-smoke fleet-smoke load clean
+.PHONY: all build test race vet lint lint-self tools bench-gate bench-seed bench-alloc trace-example trace-smoke serve-smoke fleet-smoke load clean
 
 all: build test
 
@@ -58,6 +58,12 @@ bench-alloc:
 # /metrics, and shut it down gracefully. See scripts/serve-smoke.sh.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Distributed-tracing smoke test: one daemon, one traced remote run
+# via `cdcs -server ... -trace`, jq assertions on the stitched Chrome
+# trace file. See scripts/trace-smoke.sh.
+trace-smoke:
+	sh scripts/trace-smoke.sh
 
 # Fleet smoke test: 3 cdcsd replicas wired via -self/-peers, a steady
 # and an overload cdcs-load phase, jq assertions on the JSON reports

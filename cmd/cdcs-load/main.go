@@ -10,7 +10,7 @@
 //	cdcs-load -targets http://a:8080,http://b:8080 [-qps 50]
 //	          [-duration 10s] [-deadline 30s] [-mix wan=2,lan=2,mcm=1]
 //	          [-workload-keys 16] [-retries 1] [-report out.json]
-//	          [-log-level warn] [-version]
+//	          [-trace-seed N] [-no-trace] [-log-level warn] [-version]
 //
 // Arrivals are open-loop: the generator keeps offering work at the
 // target rate whether or not earlier requests finished, so overload
@@ -18,7 +18,10 @@
 // and measured instead of self-throttled away. Each arrival carries a
 // rotating workload label, which a fleet's rendezvous router uses to
 // spread jobs; the report attributes every completed job to the
-// replica it ran on.
+// replica it ran on. Unless -no-trace is set, every arrival also
+// roots a fresh distributed trace (traceparent header), and the
+// report names the p99-slowest trace IDs as exemplars — feed one to
+// `cdcs -server ... -trace out.json` to pull the stitched trace.
 //
 // The exit status is 0 whenever the run itself completes — overload
 // outcomes are data, not failures. CI asserts on the report with jq.
@@ -61,6 +64,8 @@ func main() {
 	mix := flag.String("mix", "wan=2,lan=2,mcm=1", "weighted workload mix as name=weight entries (names: wan, lan, mcm, noc, mpeg4)")
 	workloadKeys := flag.Int("workload-keys", 16, "distinct workload labels each mix entry rotates through (fleet routing spreads by label)")
 	retries := flag.Int("retries", 1, "submission attempts per arrival; 1 counts shed responses instead of retrying them")
+	traceSeed := flag.Uint64("trace-seed", 0, "seed for per-arrival distributed-trace IDs; 0 seeds randomly. The report's exemplars name the p99-slowest trace IDs, retrievable with cdcs -trace")
+	noTrace := flag.Bool("no-trace", false, "disable per-arrival traceparent stamping and report exemplars")
 	reportPath := flag.String("report", "", "write the JSON report to this file instead of stdout")
 	logLevel := flag.String("log-level", "warn", "log level: debug, info, warn, error")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -96,6 +101,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Tracing is on by default: every arrival roots a fresh trace, and
+	// the report's exemplars point at the slowest ones for follow-up
+	// with `cdcs -server ... -trace`.
+	var ids *obs.IDSource
+	if !*noTrace {
+		ids = obs.NewIDSource(*traceSeed)
+	}
+
 	log.Info("cdcs-load starting",
 		"targets", *targets, "qps", *qps, "duration", duration.String(), "mix", *mix)
 	rep, err := load.Run(ctx, load.Config{
@@ -108,6 +121,7 @@ func main() {
 		Attempts:     *retries,
 		Registry:     obs.NewRegistry(),
 		Logger:       log,
+		TraceIDs:     ids,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdcs-load:", err)

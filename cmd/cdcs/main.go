@@ -30,8 +30,11 @@
 // (503) responses with exponential backoff — honoring the daemon's
 // Retry-After hint — up to -retry attempts, polls the job to
 // completion, and prints the daemon's result (also written by -report
-// verbatim). Local-only outputs (-dot, -svg, -json, -trace, -metrics,
-// -progress, -simulate) cannot be combined with -server.
+// verbatim). -trace with -server roots a distributed trace on the
+// submission and, once the job finishes, collects its spans from every
+// replica and writes one stitched Perfetto file. Local-only outputs
+// (-dot, -svg, -json, -metrics, -progress, -simulate) cannot be
+// combined with -server.
 //
 // The graph JSON schema matches model.ConstraintGraph's MarshalJSON:
 //
@@ -91,7 +94,7 @@ func main() {
 	simulate := flag.Bool("simulate", false, "validate the result with the flow simulator")
 	workers := flag.Int("workers", 0, "candidate-pricing worker pool size (0 = all CPUs, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "overall synthesis deadline (0 = none); on expiry the run degrades to the best feasible architecture instead of failing")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis phases to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis phases to this file; with -server, the stitched distributed trace collected from every replica")
 	metrics := flag.Bool("metrics", false, "print the algorithm-counter snapshot after the run")
 	reportPath := flag.String("report", "", "write a machine-readable JSON run summary (cost, optimality, degradation) to this file")
 	progress := flag.Bool("progress", false, "stream synthesis progress events (phase boundaries, enumeration levels, incumbents) as NDJSON on stdout")

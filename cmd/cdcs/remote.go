@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -25,11 +26,16 @@ type remoteFlags struct {
 	workers   int
 	timeout   time.Duration
 	report    string
+	// trace is the stitched distributed-trace output path: the
+	// submission roots a trace, and after the job finishes the client
+	// fans GET /v1/traces/{traceID} out to every replica and writes
+	// one Perfetto-loadable file.
+	trace string
 
 	// local-only flags, rejected when set
-	dot, svg, jsonOut, trace string
-	simulate, metrics        bool
-	progress                 bool
+	dot, svg, jsonOut string
+	simulate, metrics bool
+	progress          bool
 }
 
 // runRemote submits the instance to a cdcsd daemon via the retrying
@@ -41,7 +47,6 @@ func runRemote(f remoteFlags) {
 		"-dot":      f.dot != "",
 		"-svg":      f.svg != "",
 		"-json":     f.jsonOut != "",
-		"-trace":    f.trace != "",
 		"-simulate": f.simulate,
 		"-metrics":  f.metrics,
 		"-progress": f.progress,
@@ -67,6 +72,14 @@ func runRemote(f remoteFlags) {
 		Logger:      status,
 	})
 	ctx := context.Background()
+	// With -trace the submission roots a distributed trace: the client
+	// stamps the context as a traceparent header, so the daemon's spans
+	// (and any forward hops) join a trace we can collect afterwards.
+	var root obs.SpanContext
+	if f.trace != "" {
+		root = obs.NewIDSource(0).NewRoot()
+		ctx = obs.ContextWithSpanContext(ctx, root)
+	}
 	job, err := c.Submit(ctx, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdcs: submit:", err)
@@ -90,6 +103,9 @@ func runRemote(f remoteFlags) {
 		status.Info("job was re-executed after a daemon restart", "job_id", fin.ID)
 	}
 	printRemoteResult(fin)
+	if f.trace != "" {
+		writeRemoteTrace(ctx, c, fin, root, f.trace)
+	}
 	if f.report != "" {
 		if err := os.WriteFile(f.report, append(fin.Result, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "cdcs: write report:", err)
@@ -97,6 +113,30 @@ func runRemote(f remoteFlags) {
 		}
 		status.Info("report written", "path", f.report)
 	}
+}
+
+// writeRemoteTrace pulls the finished job's distributed trace from
+// every fleet replica and writes the stitched Perfetto file. A trace
+// fetch failure is a warning, not a run failure: the result already
+// printed.
+func writeRemoteTrace(ctx context.Context, c *client.Client, fin *client.Job, root obs.SpanContext, path string) {
+	traceID := fin.TraceID
+	if traceID == "" {
+		// Older daemons omit the trace ID from the envelope; the trace,
+		// if captured at all, is the root we submitted under.
+		traceID = root.TraceID.String()
+	}
+	data, err := c.CollectTrace(ctx, traceID)
+	if err != nil {
+		status.Warn("trace collection failed", "trace_id", traceID, "error", err.Error())
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "cdcs: write trace:", err)
+		os.Exit(1)
+	}
+	status.Info("stitched trace written",
+		"path", path, "trace_id", traceID, "viewer", "chrome://tracing or ui.perfetto.dev")
 }
 
 // buildSpec renders the POST /v1/synthesize body from the same inputs

@@ -9,7 +9,7 @@
 //	cdcsd [-addr :8080] [-max-jobs 2] [-retain 64] [-event-buffer 1024]
 //	      [-data-dir DIR] [-snapshot-every 1024] [-fsync-every 1]
 //	      [-shed-watermarks degrade:shed] [-degraded-timeout 2s]
-//	      [-self URL -peers URL,URL,...]
+//	      [-trace-ring 256] [-self URL -peers URL,URL,...]
 //	      [-drain-timeout 10s] [-pprof] [-log-level info] [-version]
 //
 // A job walkthrough:
@@ -73,6 +73,7 @@ func main() {
 	self := flag.String("self", "", "this replica's base URL as peers see it (e.g. http://10.0.0.1:8080); required with -peers")
 	peers := flag.String("peers", "", "comma-separated base URLs of all fleet replicas (self included or not); enables rendezvous job routing and peer forwarding")
 	degradedTimeout := flag.Duration("degraded-timeout", 2*time.Second, "per-job budget cap applied in the degraded admission tier")
+	traceRing := flag.Int("trace-ring", 0, "finished distributed traces retained for GET /v1/traces/{traceID} (oldest evicted first); 0 = default")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -123,8 +124,9 @@ func main() {
 			FsyncEvery:    *fsyncEvery,
 			SnapshotEvery: *snapshotEvery,
 		},
-		Shed:  shed,
-		Fleet: router,
+		Shed:      shed,
+		Fleet:     router,
+		TraceRing: *traceRing,
 	})
 	if err != nil {
 		log.Error("startup failed", "error", err.Error())

@@ -36,7 +36,15 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
 )
+
+// userAgent identifies this client build on every request
+// ("cdcs-client/<version>") so fleet operators can tell client
+// populations apart in the daemon's request logs.
+var userAgent = "cdcs-client/" + buildinfo.Version()
 
 // Config tunes the client. The zero value (plus a BaseURL) retries 5
 // attempts with 100ms base backoff capped at 5s.
@@ -189,6 +197,7 @@ type Job struct {
 	Restarted bool            `json:"restarted,omitempty"`
 	Admission string          `json:"admission,omitempty"`
 	Server    string          `json:"server,omitempty"`
+	TraceID   string          `json:"traceId,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 }
@@ -313,6 +322,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job,
 // status; otherwise it returns a StatusError plus any Retry-After
 // hint the response carried.
 func (c *Client) do(req *http.Request, wantStatus int) (*Job, time.Duration, error) {
+	c.stamp(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, 0, err
@@ -331,6 +341,18 @@ func (c *Client) do(req *http.Request, wantStatus int) (*Job, time.Duration, err
 		return nil, 0, fmt.Errorf("decode job envelope: %w", err)
 	}
 	return &job, 0, nil
+}
+
+// stamp sets the headers every request carries: the client
+// User-Agent, and — when the request context carries a span context
+// (obs.ContextWithSpanContext, or a live traced span) — the W3C
+// traceparent that makes the daemon's spans children of the caller's
+// trace.
+func (c *Client) stamp(req *http.Request) {
+	req.Header.Set("User-Agent", userAgent)
+	if sc := obs.SpanContextFromContext(req.Context()); sc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
 }
 
 // backoff computes the delay before retry number attempt+1: an

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// replicaTrace is one replica's GET /v1/traces/{traceID} answer.
+type replicaTrace struct {
+	TraceID string      `json:"traceId"`
+	Server  string      `json:"server,omitempty"`
+	Spans   []*obs.Span `json:"spans"`
+}
+
+// CollectTrace fans a GET /v1/traces/{traceID} out to every endpoint
+// on the client's ring and stitches the partial span forests into one
+// Perfetto-loadable Chrome trace_event file: each replica that holds
+// spans becomes its own pid row (labeled with the replica's fleet
+// address), overlapping spans within a replica spread across tid
+// lanes. Replicas that never saw the trace (404) or are unreachable
+// are skipped; an error is returned only when no replica held any
+// spans. Ring order makes the output deterministic for a fixed fleet.
+func (c *Client) CollectTrace(ctx context.Context, traceID string) ([]byte, error) {
+	if traceID == "" {
+		return nil, fmt.Errorf("collect trace: empty trace ID")
+	}
+	c.mu.Lock()
+	bases := append([]string(nil), c.bases...)
+	c.mu.Unlock()
+
+	var sources []obs.TraceSource
+	var lastErr error
+	for _, base := range bases {
+		rt, err := c.fetchTrace(ctx, base, traceID)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if rt == nil || len(rt.Spans) == 0 {
+			continue
+		}
+		name := rt.Server
+		if name == "" {
+			name = base
+		}
+		sources = append(sources, obs.TraceSource{Name: name, Spans: rt.Spans})
+	}
+	if len(sources) == 0 {
+		if lastErr != nil {
+			return nil, fmt.Errorf("collect trace %s: no replica answered (last error: %w)", traceID, lastErr)
+		}
+		return nil, fmt.Errorf("collect trace %s: no replica holds spans for it", traceID)
+	}
+	return obs.ChromeExport(sources)
+}
+
+// fetchTrace asks one replica for its local spans of a trace; a 404
+// (replica never touched the trace) returns nil without error.
+func (c *Client) fetchTrace(ctx context.Context, base, traceID string) (*replicaTrace, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/traces/"+traceID, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.stamp(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(body)}
+	}
+	var rt replicaTrace
+	if err := json.Unmarshal(body, &rt); err != nil {
+		return nil, fmt.Errorf("decode trace from %s: %w", base, err)
+	}
+	return &rt, nil
+}

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+)
+
+// TestRequestStamping: every client request carries the cdcs-client
+// User-Agent, and a span context on the request context becomes a
+// traceparent header; without one no header is sent.
+func TestRequestStamping(t *testing.T) {
+	type seen struct{ ua, tp string }
+	var got []seen
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, seen{ua: r.Header.Get("User-Agent"), tp: r.Header.Get(obs.TraceparentHeader)})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"j-000001","state":"queued"}`))
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+
+	if _, err := c.Submit(context.Background(), []byte(`{"example":"wan"}`)); err != nil {
+		t.Fatal(err)
+	}
+	sc := obs.NewIDSource(42).NewRoot()
+	ctx := obs.ContextWithSpanContext(context.Background(), sc)
+	if _, err := c.Submit(ctx, []byte(`{"example":"wan"}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != 2 {
+		t.Fatalf("server saw %d requests", len(got))
+	}
+	wantUA := "cdcs-client/" + buildinfo.Version()
+	for i, s := range got {
+		if s.ua != wantUA {
+			t.Errorf("request %d User-Agent = %q, want %q", i, s.ua, wantUA)
+		}
+	}
+	if got[0].tp != "" {
+		t.Errorf("context without a span stamped traceparent %q", got[0].tp)
+	}
+	if want := sc.Traceparent(); got[1].tp != want {
+		t.Errorf("traceparent = %q, want %q", got[1].tp, want)
+	}
+}
+
+// traceReplica fakes one replica's GET /v1/traces/{id} endpoint.
+func traceReplica(t *testing.T, name, body string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/traces/") {
+			http.NotFound(w, r)
+			return
+		}
+		if body == "" {
+			http.Error(w, `{"error":"no local spans"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(body))
+	}))
+}
+
+// TestCollectTraceStitchesReplicas: partial forests from two replicas
+// merge into one Chrome export with one pid row per replica; replicas
+// that never saw the trace (404) are skipped.
+func TestCollectTraceStitchesReplicas(t *testing.T) {
+	a := traceReplica(t, "a", `{"traceId":"t1","server":"replica-a","spans":[
+		{"name":"serve/forward","startUs":0,"durUs":10}]}`)
+	defer a.Close()
+	b := traceReplica(t, "b", `{"traceId":"t1","server":"replica-b","spans":[
+		{"name":"serve/job","startUs":2,"durUs":6}]}`)
+	defer b.Close()
+	empty := traceReplica(t, "c", "")
+	defer empty.Close()
+
+	c := New(Config{BaseURLs: []string{a.URL, empty.URL, b.URL}})
+	data, err := c.CollectTrace(context.Background(), "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"name":"replica-a"`, `"name":"replica-b"`,
+		`"name":"serve/forward","ph":"X","ts":0,"dur":10,"pid":1`,
+		`"name":"serve/job","ph":"X","ts":2,"dur":6,"pid":2`,
+	} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("stitched trace missing %s:\n%s", want, data)
+		}
+	}
+}
+
+// TestCollectTraceNoSpans: when no replica holds the trace the client
+// reports it rather than writing an empty file.
+func TestCollectTraceNoSpans(t *testing.T) {
+	a := traceReplica(t, "a", "")
+	defer a.Close()
+	c := New(Config{BaseURL: a.URL})
+	if _, err := c.CollectTrace(context.Background(), "deadbeef"); err == nil {
+		t.Fatal("CollectTrace with no spans anywhere must error")
+	}
+	if _, err := c.CollectTrace(context.Background(), ""); err == nil {
+		t.Fatal("CollectTrace with an empty ID must error")
+	}
+}

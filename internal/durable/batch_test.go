@@ -82,7 +82,7 @@ func TestBatchSnapshotCompaction(t *testing.T) {
 	}
 	for i := 1; i <= 3; i++ {
 		id := fmt.Sprintf("j-%06d", i)
-		if err := s.AppendJob(id, "wan", now, json.RawMessage(`{"example":"wan"}`)); err != nil {
+		if err := s.AppendJob(id, "wan", now, json.RawMessage(`{"example":"wan"}`), ""); err != nil {
 			t.Fatal(err)
 		}
 	}

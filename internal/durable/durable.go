@@ -72,9 +72,12 @@ type Record struct {
 	T    string    `json:"t"`
 	ID   string    `json:"id"`
 	Time time.Time `json:"time"`
-	// Job records: the submission.
+	// Job records: the submission. Trace is the job root span's
+	// serialized traceparent, so a restored job keeps its distributed
+	// trace correlation across the crash.
 	Workload string          `json:"workload,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
+	Trace    string          `json:"trace,omitempty"`
 	// State records: the transition (running, or StateRestarted).
 	State string `json:"state,omitempty"`
 	// Result records: the terminal outcome — done when Error is
@@ -119,6 +122,9 @@ type Job struct {
 	Spec      json.RawMessage `json:"spec,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// Trace is the job root span's traceparent, replayed so restored
+	// jobs keep their trace IDs.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Replay is what Open recovered from the data directory.
@@ -239,9 +245,10 @@ func Open(dir string, opts Options) (*Store, *Replay, error) {
 	return s, rep, nil
 }
 
-// AppendJob records a submission (the job enters queued).
-func (s *Store) AppendJob(id, workload string, created time.Time, spec json.RawMessage) error {
-	return s.append(&Record{T: RecordJob, ID: id, Time: created, Workload: workload, Spec: spec})
+// AppendJob records a submission (the job enters queued). trace is the
+// job's serialized traceparent ("" when untraced).
+func (s *Store) AppendJob(id, workload string, created time.Time, spec json.RawMessage, trace string) error {
+	return s.append(&Record{T: RecordJob, ID: id, Time: created, Workload: workload, Spec: spec, Trace: trace})
 }
 
 // AppendState records a non-terminal transition (running, or the

@@ -30,15 +30,15 @@ func runScenario(t *testing.T, s *Store) {
 	t.Helper()
 	now := time.Unix(1_700_000_000, 0).UTC()
 	steps := []func() error{
-		func() error { return s.AppendJob("j-000001", "wan", now, json.RawMessage(`{"example":"wan"}`)) },
+		func() error { return s.AppendJob("j-000001", "wan", now, json.RawMessage(`{"example":"wan"}`), "") },
 		func() error { return s.AppendState("j-000001", "running") },
 		func() error {
 			return s.AppendResult("j-000001", json.RawMessage(`{"channels":9,"cost":9.5}`), "")
 		},
-		func() error { return s.AppendJob("j-000002", "bad", now, json.RawMessage(`{"example":"bad"}`)) },
+		func() error { return s.AppendJob("j-000002", "bad", now, json.RawMessage(`{"example":"bad"}`), "") },
 		func() error { return s.AppendState("j-000002", "running") },
 		func() error { return s.AppendResult("j-000002", nil, "infeasible instance") },
-		func() error { return s.AppendJob("j-000003", "mpeg4", now, json.RawMessage(`{"example":"mpeg4"}`)) },
+		func() error { return s.AppendJob("j-000003", "mpeg4", now, json.RawMessage(`{"example":"mpeg4"}`), "") },
 		func() error { return s.AppendState("j-000003", "running") },
 	}
 	for i, step := range steps {
@@ -231,7 +231,7 @@ func TestSnapshotCompaction(t *testing.T) {
 	now := time.Unix(1_700_000_000, 0).UTC()
 	for i := 1; i <= 3; i++ {
 		id := fmt.Sprintf("j-%06d", i)
-		if err := s.AppendJob(id, "wan", now, json.RawMessage(`{"example":"wan"}`)); err != nil {
+		if err := s.AppendJob(id, "wan", now, json.RawMessage(`{"example":"wan"}`), ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -264,7 +264,7 @@ func TestFsyncBatching(t *testing.T) {
 	}
 	now := time.Unix(1_700_000_000, 0).UTC()
 	for i := 1; i <= 10; i++ {
-		if err := s.AppendJob(fmt.Sprintf("j-%06d", i), "wan", now, nil); err != nil {
+		if err := s.AppendJob(fmt.Sprintf("j-%06d", i), "wan", now, nil, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -371,13 +371,13 @@ func TestCrashRecoverySweep(t *testing.T) {
 // the crashing-process shape used by the sweep.
 func sRun(s *Store) {
 	now := time.Unix(1_700_000_000, 0).UTC()
-	_ = s.AppendJob("j-000001", "wan", now, json.RawMessage(`{"example":"wan"}`))
+	_ = s.AppendJob("j-000001", "wan", now, json.RawMessage(`{"example":"wan"}`), "")
 	_ = s.AppendState("j-000001", "running")
 	_ = s.AppendResult("j-000001", json.RawMessage(`{"channels":9,"cost":9.5}`), "")
-	_ = s.AppendJob("j-000002", "bad", now, json.RawMessage(`{"example":"bad"}`))
+	_ = s.AppendJob("j-000002", "bad", now, json.RawMessage(`{"example":"bad"}`), "")
 	_ = s.AppendState("j-000002", "running")
 	_ = s.AppendResult("j-000002", nil, "infeasible instance")
-	_ = s.AppendJob("j-000003", "mpeg4", now, json.RawMessage(`{"example":"mpeg4"}`))
+	_ = s.AppendJob("j-000003", "mpeg4", now, json.RawMessage(`{"example":"mpeg4"}`), "")
 	_ = s.AppendState("j-000003", "running")
 	_ = s.Close()
 }

@@ -104,6 +104,7 @@ func (s *Store) apply(rep *Replay, byID map[string]*Job, batchByID map[string]*B
 			j.Workload = rec.Workload
 			j.Spec = rec.Spec
 			j.Created = rec.Time
+			j.Trace = rec.Trace
 			return true
 		}
 		j := &Job{
@@ -112,6 +113,7 @@ func (s *Store) apply(rep *Replay, byID map[string]*Job, batchByID map[string]*B
 			Created:  rec.Time,
 			State:    "queued",
 			Spec:     rec.Spec,
+			Trace:    rec.Trace,
 		}
 		byID[rec.ID] = j
 		rep.Jobs = append(rep.Jobs, j)

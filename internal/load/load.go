@@ -70,6 +70,11 @@ type Config struct {
 	Attempts int
 	// Registry receives load/* counters; nil disables.
 	Registry *obs.Registry
+	// TraceIDs mints a fresh distributed-trace root per arrival, which
+	// the client stamps onto the submission as a traceparent header;
+	// the report then names the trace IDs of the slowest completed
+	// requests as exemplars. Nil disables tracing.
+	TraceIDs *obs.IDSource
 	// Logger receives per-request warnings; nil disables.
 	Logger *slog.Logger
 	// HTTP overrides the transport; nil means the client default.
@@ -94,6 +99,16 @@ type Latency struct {
 	P90 float64 `json:"p90_ms"`
 	P99 float64 `json:"p99_ms"`
 	Max float64 `json:"max_ms"`
+}
+
+// Exemplar names one of the slowest completed requests by its
+// distributed-trace ID, so a tail-latency investigation starts from
+// `cdcs -server ... -trace` instead of from log spelunking.
+type Exemplar struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMs float64 `json:"latency_ms"`
+	Workload  string  `json:"workload"`
+	Server    string  `json:"server,omitempty"`
 }
 
 // Replica is one server's share of the completed work.
@@ -131,6 +146,10 @@ type Report struct {
 	Balance float64 `json:"balance"`
 
 	ByWorkload map[string]int64 `json:"by_workload"`
+
+	// Exemplars are the p99-and-slower completed requests (slowest
+	// first, capped), present only when Config.TraceIDs was set.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // collector accumulates per-request outcomes under one mutex; the
@@ -138,6 +157,7 @@ type Report struct {
 type collector struct {
 	mu         sync.Mutex
 	latencies  []time.Duration
+	samples    []sample
 	perReplica map[string]int64
 	byWorkload map[string]int64
 	completed  int64
@@ -145,6 +165,15 @@ type collector struct {
 	shed       int64
 	errors     int64
 	missed     int64
+}
+
+// sample ties one completed request's latency to its trace identity,
+// feeding the exemplar selection. Only recorded when tracing is on.
+type sample struct {
+	latency  time.Duration
+	traceID  string
+	workload string
+	server   string
 }
 
 // Run drives one generator run to completion and returns its report.
@@ -228,10 +257,17 @@ arrivals:
 				MaxAttempts: attempts,
 				HTTP:        cfg.HTTP,
 			})
+			// A fresh trace root per arrival: the client stamps it onto
+			// the submission as a traceparent header, so the daemon's
+			// spans join a trace this run can name in its exemplars.
+			var sc obs.SpanContext
+			if cfg.TraceIDs != nil {
+				sc = cfg.TraceIDs.NewRoot()
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				runOne(ctx, c, spec, wl, target, deadline, col, cfg.Logger,
+				runOne(ctx, c, spec, wl, target, sc, deadline, col, cfg.Logger,
 					completedC, degradedC, shedC, errorsC, missedC)
 			}()
 		}
@@ -262,10 +298,11 @@ func expandMix(mix []Spec) []Spec {
 // runOne submits one arrival and waits it to a terminal state within
 // the per-request deadline, classifying the outcome.
 func runOne(ctx context.Context, c *client.Client, spec Spec,
-	workload, target string, deadline time.Duration, col *collector, log *slog.Logger,
+	workload, target string, sc obs.SpanContext, deadline time.Duration, col *collector, log *slog.Logger,
 	completedC, degradedC, shedC, errorsC, missedC *obs.CounterHandle) {
 	reqCtx, cancel := context.WithTimeout(ctx, deadline)
 	defer cancel()
+	reqCtx = obs.ContextWithSpanContext(reqCtx, sc)
 	body := spec.Body
 	if strings.Contains(body, "%s") {
 		body = fmt.Sprintf(body, workload)
@@ -333,6 +370,21 @@ func runOne(ctx context.Context, c *client.Client, spec Spec,
 	}
 	col.perReplica[server]++
 	col.byWorkload[spec.Name]++
+	if sc.Valid() {
+		// Prefer the trace ID the daemon reports (the authoritative
+		// one if propagation was ever dropped); fall back to the root
+		// this run minted.
+		tid := fin.TraceID
+		if tid == "" {
+			tid = job.TraceID
+		}
+		if tid == "" {
+			tid = sc.TraceID.String()
+		}
+		col.samples = append(col.samples, sample{
+			latency: elapsed, traceID: tid, workload: workload, server: server,
+		})
+	}
 	if fin.Admission == "degraded" || job.Admission == "degraded" {
 		col.degraded++
 		degradedC.Add(1)
@@ -387,7 +439,36 @@ func (col *collector) report(cfg Config, offered int64) *Report {
 	if maxC > 0 {
 		r.Balance = float64(minC) / float64(maxC)
 	}
+	r.Exemplars = exemplars(col.samples, r.Latency.P99)
 	return r
+}
+
+// maxExemplars caps the report's exemplar list: enough trace IDs to
+// chase the tail, few enough to read.
+const maxExemplars = 5
+
+// exemplars picks the traced requests at or above the p99 latency,
+// slowest first, capped at maxExemplars.
+func exemplars(samples []sample, p99ms float64) []Exemplar {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]sample(nil), samples...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].latency > sorted[j].latency })
+	var out []Exemplar
+	for _, s := range sorted {
+		ms := float64(s.latency) / float64(time.Millisecond)
+		if ms < p99ms || len(out) >= maxExemplars {
+			break
+		}
+		out = append(out, Exemplar{
+			TraceID:   s.traceID,
+			LatencyMs: ms,
+			Workload:  s.workload,
+			Server:    s.server,
+		})
+	}
+	return out
 }
 
 // percentiles computes the nearest-rank latency summary in ms.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -237,5 +238,83 @@ func TestPercentiles(t *testing.T) {
 	}
 	if z := percentiles(nil); z != (Latency{}) {
 		t.Errorf("empty percentiles = %+v, want zero", z)
+	}
+}
+
+// TestRunTraceExemplars: with an ID source configured, every arrival
+// carries a traceparent header and the report ends with the slowest
+// trace IDs as exemplars.
+func TestRunTraceExemplars(t *testing.T) {
+	var mu sync.Mutex
+	headers := map[string]bool{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers[r.Header.Get("traceparent")] = true
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"j-000001","state":"queued"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"j-000001","state":"done","result":{"cost":1}}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Targets:  []string{ts.URL},
+		QPS:      200,
+		Duration: 100 * time.Millisecond,
+		Deadline: 5 * time.Second,
+		TraceIDs: obs.NewIDSource(42),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	mu.Lock()
+	seen := make([]string, 0, len(headers))
+	for h := range headers {
+		seen = append(seen, h)
+	}
+	mu.Unlock()
+	if len(seen) != int(rep.Offered) {
+		t.Errorf("saw %d distinct traceparents for %d arrivals, want one fresh root each",
+			len(seen), rep.Offered)
+	}
+	for _, h := range seen {
+		if _, ok := obs.ParseTraceparent(h); !ok {
+			t.Errorf("arrival carried unparseable traceparent %q", h)
+		}
+	}
+	if len(rep.Exemplars) == 0 || len(rep.Exemplars) > maxExemplars {
+		t.Fatalf("exemplars = %+v, want 1..%d entries", rep.Exemplars, maxExemplars)
+	}
+	for i, ex := range rep.Exemplars {
+		if len(ex.TraceID) != 32 || ex.LatencyMs < rep.Latency.P99 {
+			t.Errorf("exemplar %d = %+v, want a p99-or-slower traced request", i, ex)
+		}
+		if i > 0 && ex.LatencyMs > rep.Exemplars[i-1].LatencyMs {
+			t.Errorf("exemplars not slowest-first: %v then %v",
+				rep.Exemplars[i-1].LatencyMs, ex.LatencyMs)
+		}
+	}
+
+	// Tracing off: no headers, no exemplars.
+	repOff, err := Run(context.Background(), Config{
+		Targets:  []string{ts.URL},
+		QPS:      100,
+		Duration: 50 * time.Millisecond,
+		Deadline: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repOff.Exemplars) != 0 {
+		t.Errorf("untraced run reported exemplars: %+v", repOff.Exemplars)
 	}
 }

@@ -46,6 +46,11 @@ type Event struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Err carries the failure for run_error.
 	Err string `json:"error,omitempty"`
+	// TraceID and SpanID correlate the event with a distributed trace
+	// (stamped by the stream when SetTrace was called, so every SSE
+	// line of a traced job links back to its trace).
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
 }
 
 // Event types.
@@ -98,6 +103,22 @@ type Events struct {
 	closed  bool
 	now     func() time.Time
 	epoch   time.Time
+	traceID string
+	spanID  string
+}
+
+// SetTrace makes the stream stamp every subsequently-published event
+// with the given trace correlation IDs (an event's own non-empty IDs
+// win). The serving daemon calls it once at job admission, before the
+// run publishes anything.
+func (e *Events) SetTrace(traceID, spanID string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.traceID = traceID
+	e.spanID = spanID
 }
 
 // NewEvents returns a stream retaining the last bufCap events for
@@ -140,6 +161,12 @@ func (e *Events) Publish(ev Event) {
 	e.seq++
 	ev.Seq = e.seq
 	ev.TimeUs = ts.Sub(e.epoch).Microseconds()
+	if ev.TraceID == "" {
+		ev.TraceID = e.traceID
+	}
+	if ev.SpanID == "" {
+		ev.SpanID = e.spanID
+	}
 	if e.count < e.cap {
 		e.buf = append(e.buf, ev)
 		e.count++

@@ -40,6 +40,11 @@ type Config struct {
 	// shares one registry across every job so /metrics is a single
 	// accumulated scrape target.
 	Registry *Registry
+	// Tracer, when non-nil, is used as the span tracer instead of
+	// creating a fresh one (implies Tracing). The serving daemon hands
+	// each job's pre-created ID-carrying tracer to the run's sink so
+	// the synth phase tree lands in the job's distributed trace.
+	Tracer *Tracer
 	// Events enables the progress event stream (phase boundaries,
 	// enumeration levels, incumbent improvements) with a bounded
 	// drop-oldest replay ring.
@@ -77,7 +82,10 @@ type Sink struct {
 // propagates pprof labels (or nothing at all).
 func New(cfg Config) *Sink {
 	s := &Sink{pprofLabels: cfg.PprofLabels, now: cfg.Now, eventBuffer: cfg.EventBuffer}
-	if cfg.Tracing {
+	switch {
+	case cfg.Tracer != nil:
+		s.tracer = cfg.Tracer
+	case cfg.Tracing:
 		s.tracer = NewTracer(cfg.Now)
 	}
 	switch {

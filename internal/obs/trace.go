@@ -50,10 +50,23 @@ type Span struct {
 	Name     string  `json:"name"`
 	StartUs  int64   `json:"startUs"`
 	DurUs    int64   `json:"durUs"`
+	TraceID  string  `json:"traceId,omitempty"`
+	SpanID   string  `json:"spanId,omitempty"`
+	ParentID string  `json:"parentSpanId,omitempty"`
 	Attrs    []Attr  `json:"attrs,omitempty"`
 	Children []*Span `json:"children,omitempty"`
 
 	start time.Time
+	sc    SpanContext
+}
+
+// Context returns the span's identity (zero when the tracer has no ID
+// source). Safe on nil.
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return sp.sc
 }
 
 // Tracer records a forest of spans. All methods are safe for
@@ -61,19 +74,37 @@ type Span struct {
 // so workers may open spans under a shared parent (their completion
 // order, not their content, is then scheduling-dependent).
 type Tracer struct {
-	mu    sync.Mutex
-	now   func() time.Time
-	epoch time.Time
-	roots []*Span
+	mu     sync.Mutex
+	now    func() time.Time
+	epoch  time.Time
+	roots  []*Span
+	ids    *IDSource
+	parent SpanContext
 }
 
 // NewTracer returns an empty tracer using the given clock (nil means
-// time.Now).
+// time.Now). Spans carry no W3C identifiers; use NewTracerWithIDs for
+// distributed traces.
 func NewTracer(now func() time.Time) *Tracer {
 	if now == nil {
 		now = time.Now
 	}
 	return &Tracer{now: now}
+}
+
+// NewTracerWithIDs returns a tracer whose spans carry W3C trace/span
+// identifiers drawn from ids. When parent is valid, root spans join
+// parent's trace and parent under parent's span (the propagated
+// remote context); otherwise the first root starts a fresh trace that
+// later roots share.
+func NewTracerWithIDs(now func() time.Time, ids *IDSource, parent SpanContext) *Tracer {
+	t := NewTracer(now)
+	if ids == nil {
+		ids = NewIDSource(0)
+	}
+	t.ids = ids
+	t.parent = parent
+	return t
 }
 
 // start opens a span under parent (nil parent = new root).
@@ -93,12 +124,43 @@ func (t *Tracer) start(parent *Span, name string, attrs []Attr) *Span {
 		Attrs:   append([]Attr(nil), attrs...),
 		start:   ts,
 	}
+	if t.ids != nil {
+		sp.sc.SpanID = t.ids.SpanID()
+		switch {
+		case parent != nil && parent.sc.Valid():
+			sp.sc.TraceID = parent.sc.TraceID
+			sp.ParentID = parent.sc.SpanID.String()
+		case t.parent.Valid():
+			sp.sc.TraceID = t.parent.TraceID
+			sp.ParentID = t.parent.SpanID.String()
+		default:
+			// First root of a fresh trace; later parentless roots
+			// share it so one tracer is always one trace.
+			t.parent = SpanContext{TraceID: t.ids.TraceID(), SpanID: sp.sc.SpanID}
+			sp.sc.TraceID = t.parent.TraceID
+		}
+		sp.TraceID = sp.sc.TraceID.String()
+		sp.SpanID = sp.sc.SpanID.String()
+	}
 	if parent == nil {
 		t.roots = append(t.roots, sp)
 	} else {
 		parent.Children = append(parent.Children, sp)
 	}
 	return sp
+}
+
+// Start opens a span under parent (nil = new root). Unlike Trace, the
+// span's lifetime is not tied to a context — the serving daemon opens
+// queue-wait and request spans in one function and closes them in
+// another. Safe on a nil tracer (returns nil, which End ignores).
+func (t *Tracer) Start(parent *Span, name string, attrs ...Attr) *Span {
+	return t.start(parent, name, attrs)
+}
+
+// End closes a span opened with Start, appending any final attributes.
+func (t *Tracer) End(sp *Span, attrs ...Attr) {
+	t.end(sp, attrs)
 }
 
 // end closes the span, appending any final attributes (the idiom for
@@ -129,10 +191,14 @@ func (t *Tracer) Roots() []*Span {
 
 func copySpan(sp *Span) *Span {
 	c := &Span{
-		Name:    sp.Name,
-		StartUs: sp.StartUs,
-		DurUs:   sp.DurUs,
-		Attrs:   append([]Attr(nil), sp.Attrs...),
+		Name:     sp.Name,
+		StartUs:  sp.StartUs,
+		DurUs:    sp.DurUs,
+		TraceID:  sp.TraceID,
+		SpanID:   sp.SpanID,
+		ParentID: sp.ParentID,
+		Attrs:    append([]Attr(nil), sp.Attrs...),
+		sc:       sp.sc,
 	}
 	for _, child := range sp.Children {
 		c.Children = append(c.Children, copySpan(child))
@@ -150,26 +216,39 @@ func (t *Tracer) JSON() ([]byte, error) {
 
 // ChromeTrace exports the span forest in the Chrome trace_event JSON
 // array format — loadable by chrome://tracing and Perfetto. Every span
-// becomes one complete ("ph":"X") event; attributes become args.
+// becomes one complete ("ph":"X") event; attributes become args. Spans
+// that overlap in time (parallel pricing workers under one parent) are
+// spread across lanes so each gets its own tid row.
 func (t *Tracer) ChromeTrace() ([]byte, error) {
+	return ChromeExport([]TraceSource{{Spans: t.Roots()}})
+}
+
+// TraceSource is one process's span forest for ChromeExport. Name
+// labels the Perfetto process row (empty = unnamed).
+type TraceSource struct {
+	Name  string
+	Spans []*Span
+}
+
+// ChromeExport renders one or more span forests as a single Chrome
+// trace_event JSON array. Each source becomes one pid (1-based, in
+// slice order, with a process_name metadata record when named); within
+// a source, spans are packed onto tid lanes greedily — a span shares
+// its parent's lane when it fits after the previous occupant, and
+// overlapping siblings spill onto fresh lanes — so parallel workers
+// render as parallel rows. The assignment is a pure function of the
+// span forest, keeping the bytes deterministic.
+func ChromeExport(sources []TraceSource) ([]byte, error) {
 	var events []chromeEvent
-	var walk func(sp *Span)
-	walk = func(sp *Span) {
-		args := make(map[string]string, len(sp.Attrs))
-		for _, a := range sp.Attrs {
-			args[a.Key] = a.Value
+	for i, src := range sources {
+		pid := i + 1
+		if src.Name != "" {
+			events = append(events, chromeEvent{
+				Name: "process_name", Phase: "M", PID: pid,
+				Args: map[string]string{"name": src.Name},
+			})
 		}
-		events = append(events, chromeEvent{
-			Name: sp.Name, Phase: "X",
-			TsUs: sp.StartUs, DurUs: sp.DurUs,
-			PID: 1, TID: 1, Args: args,
-		})
-		for _, child := range sp.Children {
-			walk(child)
-		}
-	}
-	for _, root := range t.Roots() {
-		walk(root)
+		events = append(events, chromeEvents(src.Spans, pid)...)
 	}
 	// Marshal each event with sorted args so the output is stable (the
 	// encoding/json map marshaling sorts keys, but we keep the array
@@ -190,6 +269,72 @@ func (t *Tracer) ChromeTrace() ([]byte, error) {
 	}
 	buf.WriteString("]\n")
 	return buf.Bytes(), nil
+}
+
+// chromeEvents flattens one forest into complete events with lane tids.
+func chromeEvents(roots []*Span, pid int) []chromeEvent {
+	var events []chromeEvent
+	nextLane := 1
+	// lane bookkeeping per sibling group: each entry is a lane number
+	// and the end time of the last sibling placed on it.
+	type slot struct {
+		lane    int
+		lastEnd int64
+	}
+	var walk func(sp *Span, lane int)
+	walk = func(sp *Span, lane int) {
+		args := make(map[string]string, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name, Phase: "X",
+			TsUs: sp.StartUs, DurUs: sp.DurUs,
+			PID: pid, TID: lane, Args: args,
+		})
+		// Children nest inside sp, so sp's own lane is free for them;
+		// siblings that overlap the previous occupant spill onto fresh
+		// lanes, first-fit in start order.
+		slots := []slot{{lane: lane, lastEnd: sp.StartUs}}
+		for _, child := range sp.Children {
+			placed := false
+			for si := range slots {
+				if slots[si].lastEnd <= child.StartUs {
+					slots[si].lastEnd = child.StartUs + child.DurUs
+					walk(child, slots[si].lane)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				nextLane++
+				slots = append(slots, slot{lane: nextLane, lastEnd: child.StartUs + child.DurUs})
+				walk(child, nextLane)
+			}
+		}
+	}
+	rootSlots := []slot{}
+	for _, root := range roots {
+		placed := false
+		for si := range rootSlots {
+			if rootSlots[si].lastEnd <= root.StartUs {
+				rootSlots[si].lastEnd = root.StartUs + root.DurUs
+				walk(root, rootSlots[si].lane)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lane := 1
+			if len(rootSlots) > 0 {
+				nextLane++
+				lane = nextLane
+			}
+			rootSlots = append(rootSlots, slot{lane: lane, lastEnd: root.StartUs + root.DurUs})
+			walk(root, lane)
+		}
+	}
+	return events
 }
 
 // chromeEvent is one trace_event entry. encoding/json marshals the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/cdcs"
+	"repro/internal/obs"
 )
 
 // BatchRequest is the POST /v1/batch body: many named constraint
@@ -39,6 +40,9 @@ type batch struct {
 	created  time.Time
 	restored bool
 	members  []batchMember
+	// traceID identifies the batch's distributed trace; every admitted
+	// member's serve/job span is a child of the batch root span.
+	traceID string
 }
 
 // batchMember is one graph's admission outcome: an admitted member
@@ -82,6 +86,9 @@ type batchJSON struct {
 	// Restored marks a batch replayed from the durable log after a
 	// daemon restart.
 	Restored bool `json:"restored,omitempty"`
+	// TraceID is the batch's distributed trace identifier; member jobs
+	// share it.
+	TraceID string `json:"traceId,omitempty"`
 	// Done is true once every admitted member reached a terminal
 	// state (shed and invalid members are terminal by definition).
 	Done    bool              `json:"done"`
@@ -102,6 +109,7 @@ func (s *Server) batchJSONLocked(b *batch) batchJSON {
 		Workload: b.workload,
 		Created:  b.created.UTC().Format(time.RFC3339Nano),
 		Restored: b.restored,
+		TraceID:  b.traceID,
 		Done:     true,
 		Members:  make([]batchMemberJSON, 0, len(b.members)),
 		Links:    batchLinks{Self: "/v1/batch/" + b.id},
@@ -163,6 +171,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		decs[i] = decoded{cg: cg, lib: lib, workload: workload, err: err}
 	}
 
+	// The batch root span: members parent under it, so a stitched
+	// trace shows the whole fan-out. A propagated traceparent makes
+	// the batch a child of the caller's trace.
+	parent, propagated := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	bt := obs.NewTracerWithIDs(s.now, s.ids, parent)
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -171,10 +185,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	bspan := bt.Start(nil, "serve/batch",
+		obs.String("workload", label), obs.Int("graphs", len(req.Graphs)))
 	b := &batch{
 		workload: label,
 		created:  s.now(),
 		members:  make([]batchMember, len(req.Graphs)),
+		traceID:  bspan.Context().TraceID.String(),
 	}
 	var admitted []*Job
 	var evictions []string
@@ -187,7 +204,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			invalid++
 			continue
 		}
-		tier, _ := s.tierLocked()
+		tier, load := s.tierLocked()
 		if tier != TierShed {
 			evicted, ok := s.evictLocked()
 			if !ok {
@@ -203,7 +220,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			shedCount++
 			continue
 		}
-		j := s.newJobLocked(g.SynthesizeRequest, d.cg, d.lib, d.workload, tier)
+		j := s.newJobLocked(g.SynthesizeRequest, d.cg, d.lib, d.workload, tier, bspan.Context(), load)
 		m.jobID = j.ID
 		admitted = append(admitted, j)
 	}
@@ -235,6 +252,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	env := s.batchJSONLocked(b)
 	s.mu.Unlock()
 
+	// The batch span covers admission (member runs are their own child
+	// spans with their own lifetimes); record it now so the trace ring
+	// answers for the batch even while members still run.
+	bt.End(bspan, obs.Int("admitted", len(admitted)),
+		obs.Int("shed", shedCount), obs.Int("invalid", invalid))
+	s.countRoot(propagated)
+	s.recordTrace(b.traceID, bt.Roots())
 	for _, m := range b.members {
 		if m.tier != "" {
 			s.reg.Counter("serve/shed/" + m.tier).Add(1)
@@ -252,7 +276,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.persistBatch(b)
 	s.log.Info("batch submitted",
 		"batch_id", b.id, "workload", label, "graphs", len(req.Graphs),
-		"admitted", len(admitted), "shed", shedCount, "invalid", invalid)
+		"admitted", len(admitted), "shed", shedCount, "invalid", invalid,
+		"trace_id", b.traceID)
 	for _, j := range admitted {
 		go s.runJob(j)
 	}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // forwardedHeader marks a submission one replica already forwarded.
@@ -47,17 +49,34 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, body []byt
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardedHeader, s.fleet.Self())
+	// The forward hop is a span of its own: it joins the caller's
+	// trace (or roots a fresh one) and re-injects its context as the
+	// outgoing traceparent, so the owner replica's serve/job span
+	// parents under this replica's forward span and a stitched trace
+	// shows the full hop chain.
+	parent, propagated := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	ft := obs.NewTracerWithIDs(s.now, s.ids, parent)
+	fspan := ft.Start(nil, "serve/forward",
+		obs.String("peer", owner), obs.String("workload", workload))
+	req.Header.Set(obs.TraceparentHeader, fspan.Context().Traceparent())
+	traceID := fspan.Context().TraceID.String()
+	s.countRoot(propagated)
 	resp, err := s.fleetClient.Do(req)
 	if err != nil {
+		ft.End(fspan, obs.String("outcome", "failed"))
+		s.recordTrace(traceID, ft.Roots())
 		s.reg.Counter("fleet/forward_failed").Add(1)
 		s.log.Warn("peer forward failed; admitting locally",
-			"peer", owner, "workload", workload, "error", err.Error())
+			"peer", owner, "workload", workload, "trace_id", traceID, "error", err.Error())
 		return false
 	}
 	defer resp.Body.Close()
+	ft.End(fspan, obs.Int("status", resp.StatusCode))
+	s.recordTrace(traceID, ft.Roots())
 	s.reg.Counter("fleet/forwarded").Add(1)
 	s.log.Info("job forwarded",
-		"peer", owner, "workload", workload, "load", load, "status", resp.StatusCode)
+		"peer", owner, "workload", workload, "load", load,
+		"trace_id", traceID, "status", resp.StatusCode)
 	// Pass the owner's answer through verbatim: its job envelope names
 	// the owner in the server field, so the client polls the right
 	// replica; its Retry-After still applies if the owner shed too.

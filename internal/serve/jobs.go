@@ -93,6 +93,17 @@ type Job struct {
 	// compaction of restored jobs (whose req was never re-decoded).
 	specRaw json.RawMessage
 
+	// tracer records the job's span forest; span is its serve/job
+	// root, queueSpan the admission-to-slot wait. sc/traceID are the
+	// root's identity — set once before the job is visible (or at
+	// restore), immutable after, so they are read without j.mu.
+	// tracer is nil only for jobs restored in a terminal state.
+	tracer    *obs.Tracer
+	span      *obs.Span
+	queueSpan *obs.Span
+	sc        obs.SpanContext
+	traceID   string
+
 	// mu guards the lifecycle fields below. Like Server.mu, it must
 	// be released before any durable store call (the durable()
 	// snapshot is built under it, then persisted by the caller):
@@ -128,15 +139,19 @@ type jobJSON struct {
 	// Server names the fleet replica the job lives on (set only when
 	// fleet routing is configured): after a peer forward, the address
 	// the client must poll.
-	Server string  `json:"server,omitempty"`
-	Error  string  `json:"error,omitempty"`
-	Result *Result `json:"result,omitempty"`
-	Links  links   `json:"links"`
+	Server string `json:"server,omitempty"`
+	// TraceID is the job's distributed trace identifier (32 hex
+	// digits); clients collect the cross-replica trace with it.
+	TraceID string  `json:"traceId,omitempty"`
+	Error   string  `json:"error,omitempty"`
+	Result  *Result `json:"result,omitempty"`
+	Links   links   `json:"links"`
 }
 
 type links struct {
 	Self   string `json:"self"`
 	Events string `json:"events"`
+	Trace  string `json:"trace"`
 }
 
 func (j *Job) json() jobJSON {
@@ -149,11 +164,13 @@ func (j *Job) json() jobJSON {
 		Created:   j.created.UTC().Format(time.RFC3339Nano),
 		Restarted: j.restarted,
 		Admission: j.admission,
+		TraceID:   j.traceID,
 		Error:     j.errMsg,
 		Result:    j.result,
 		Links: links{
 			Self:   "/v1/jobs/" + j.ID,
 			Events: "/v1/jobs/" + j.ID + "/events",
+			Trace:  "/v1/jobs/" + j.ID + "/trace",
 		},
 	}
 }
@@ -255,6 +272,10 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if s.maybeForward(w, r, body, workload) {
 		return
 	}
+	// The propagated upstream trace context, when the caller sent a
+	// well-formed traceparent; the zero value means "start a fresh
+	// root" — a malformed header degrades to that, never to an error.
+	parent, propagated := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
 
 	s.mu.Lock()
 	if s.draining {
@@ -288,9 +309,10 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			"job table full (%d jobs, none finished)", s.cfg.MaxJobs)
 		return
 	}
-	j := s.newJobLocked(req, cg, lib, workload, tier)
+	j := s.newJobLocked(req, cg, lib, workload, tier, parent, load)
 	s.mu.Unlock()
 
+	s.countRoot(propagated)
 	s.reg.Counter("serve/shed/" + tier).Add(1)
 	s.reg.Counter("serve/jobs_submitted").Add(1)
 	if evicted != "" {
@@ -299,7 +321,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	s.persistJob(j)
 	s.log.Info("job submitted",
 		"job_id", j.ID, "workload", j.Workload, "tier", tier, "load", load,
-		"queue_cap", s.cfg.MaxConcurrent)
+		"trace_id", j.traceID, "queue_cap", s.cfg.MaxConcurrent)
 	go s.runJob(j)
 	writeJSON(w, http.StatusAccepted, s.jobView(j))
 }
@@ -308,7 +330,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 // s.mu, has classified the tier (not TierShed) and made room with
 // evictLocked; the caller persists the job and starts runJob after
 // releasing the lock.
-func (s *Server) newJobLocked(req SynthesizeRequest, cg *cdcs.ConstraintGraph, lib *cdcs.Library, workload, tier string) *Job {
+func (s *Server) newJobLocked(req SynthesizeRequest, cg *cdcs.ConstraintGraph, lib *cdcs.Library, workload, tier string, parent obs.SpanContext, load int) *Job {
 	s.nextID++
 	j := &Job{
 		ID:       fmt.Sprintf("j-%06d", s.nextID),
@@ -326,11 +348,39 @@ func (s *Server) newJobLocked(req SynthesizeRequest, cg *cdcs.ConstraintGraph, l
 		j.admission = TierDegrade
 		j.effTimeout = s.shed.DegradedTimeout
 	}
+	s.initJobTrace(j, parent, tier, load)
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.active++
 	s.wg.Add(1)
 	return j
+}
+
+// initJobTrace gives j its per-job tracer: a serve/job root span
+// (joining the propagated upstream trace when parent is valid, else a
+// fresh root), a closed serve/admission child recording the tier
+// decision, and an open serve/queue-wait child that runJob closes when
+// the job wins a concurrency slot. The job's event stream is stamped
+// so every SSE line carries the trace correlation.
+func (s *Server) initJobTrace(j *Job, parent obs.SpanContext, tier string, load int) {
+	j.tracer = obs.NewTracerWithIDs(s.now, s.ids, parent)
+	j.span = j.tracer.Start(nil, "serve/job",
+		obs.String("job_id", j.ID), obs.String("workload", j.Workload))
+	j.sc = j.span.Context()
+	j.traceID = j.sc.TraceID.String()
+	adm := j.tracer.Start(j.span, "serve/admission",
+		obs.String("tier", tier), obs.Int("load", load))
+	j.tracer.End(adm)
+	j.queueSpan = j.tracer.Start(j.span, "serve/queue-wait")
+	j.events.SetTrace(j.traceID, j.sc.SpanID.String())
+}
+
+// traceparent serializes the job root's span context ("" untraced).
+func (j *Job) traceparent() string {
+	if !j.sc.Valid() {
+		return ""
+	}
+	return j.sc.Traceparent()
 }
 
 // testJobStartHook, when non-nil, is called by runJob after a job has
@@ -394,7 +444,7 @@ func (s *Server) runJob(j *Job) {
 		s.mu.Unlock()
 	}()
 
-	log := s.log.With("job_id", j.ID, "workload", j.Workload)
+	log := s.log.With("job_id", j.ID, "workload", j.Workload, "trace_id", j.traceID)
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
@@ -402,6 +452,11 @@ func (s *Server) runJob(j *Job) {
 		j.mu.Lock()
 		j.errMsg = "server shut down before the job started"
 		j.mu.Unlock()
+		// Close out the trace before the state flips: a client that sees
+		// a terminal state must find the span forest complete.
+		j.tracer.End(j.queueSpan)
+		j.tracer.End(j.span, obs.String("outcome", "aborted"))
+		s.recordTrace(j.traceID, j.tracer.Roots())
 		j.setState(StateFailed)
 		s.reg.Counter("serve/jobs_failed").Add(1)
 		// Deliberately not persisted as failed: in the durable log the
@@ -411,6 +466,7 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 
+	j.tracer.End(j.queueSpan)
 	j.setState(StateRunning)
 	s.persistState(j, StateRunning)
 	if hook := jobStartHook(); hook != nil {
@@ -424,12 +480,15 @@ func (s *Server) runJob(j *Job) {
 	// The job's sink: counters land in the server-wide registry (the
 	// /metrics scrape target), events go straight into the job's own
 	// stream — created at submission time, so SSE subscribers attached
-	// while the job was still queued miss nothing. The run context is
-	// the server's: Drain cancels it and the flow degrades to its
-	// incumbent instead of dying.
+	// while the job was still queued miss nothing — and the synth
+	// phase tree lands in the job's tracer, nested under the serve/job
+	// root via the context below. The run context is the server's:
+	// Drain cancels it and the flow degrades to its incumbent instead
+	// of dying.
 	sink := obs.New(obs.Config{
 		Registry:    s.reg,
 		EventStream: j.events,
+		Tracer:      j.tracer,
 	})
 	ro := j.req.Options
 	opt := cdcs.Options{
@@ -453,13 +512,18 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	start := s.now()
-	ig, rep, err := cdcs.SynthesizeContext(s.runCtx, j.cg, j.lib, opt)
+	runCtx := obs.ContextWithSpan(s.runCtx, j.span)
+	ig, rep, err := cdcs.SynthesizeContext(runCtx, j.cg, j.lib, opt)
 	s.reg.Histogram("serve/job_duration_ms", 1, 10, 100, 1_000, 10_000).
 		Record(s.now().Sub(start).Milliseconds())
 	if err != nil {
 		j.mu.Lock()
 		j.errMsg = err.Error()
 		j.mu.Unlock()
+		// Trace first, state second: terminal state implies a complete
+		// span forest on /trace.
+		j.tracer.End(j.span, obs.String("outcome", "failed"))
+		s.recordTrace(j.traceID, j.tracer.Roots())
 		j.setState(StateFailed)
 		s.persistResult(j)
 		s.reg.Counter("serve/jobs_failed").Add(1)
@@ -490,6 +554,10 @@ func (s *Server) runJob(j *Job) {
 	j.mu.Lock()
 	j.result = res
 	j.mu.Unlock()
+	// Trace first, state second: terminal state implies a complete
+	// span forest on /trace.
+	j.tracer.End(j.span, obs.String("outcome", "done"))
+	s.recordTrace(j.traceID, j.tracer.Roots())
 	j.setState(StateDone)
 	s.persistResult(j)
 	s.reg.Counter("serve/jobs_completed").Add(1)

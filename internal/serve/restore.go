@@ -19,7 +19,7 @@ func (s *Server) persistJob(j *Job) {
 		return
 	}
 	spec := j.spec()
-	if err := s.store.AppendJob(j.ID, j.Workload, j.created, spec); err != nil {
+	if err := s.store.AppendJob(j.ID, j.Workload, j.created, spec, j.traceparent()); err != nil {
 		s.walWarn("job", j.ID, err)
 	}
 }
@@ -160,6 +160,7 @@ func (j *Job) durable() durable.Job {
 		Restarted: j.restarted,
 		Spec:      spec,
 		Error:     j.errMsg,
+		Trace:     j.traceparent(),
 	}
 	if j.result != nil {
 		if data, err := json.Marshal(j.result); err == nil {
@@ -275,6 +276,14 @@ func (s *Server) restoreFinished(dj *durable.Job) *Job {
 		events:    obs.NewEvents(s.cfg.EventBuffer, nil),
 		done:      make(chan struct{}),
 	}
+	// Replay the persisted trace identity: the restored job's SSE
+	// history and /trace endpoint answer with the original trace ID
+	// (the spans themselves did not survive the crash).
+	if sc, ok := obs.ParseTraceparent(dj.Trace); ok {
+		j.sc = sc
+		j.traceID = sc.TraceID.String()
+		j.events.SetTrace(j.traceID, sc.SpanID.String())
+	}
 	if len(dj.Result) > 0 {
 		var res Result
 		if err := json.Unmarshal(dj.Result, &res); err == nil {
@@ -323,6 +332,10 @@ func (s *Server) requeue(dj *durable.Job) *Job {
 		events:    obs.NewEvents(s.cfg.EventBuffer, nil),
 		done:      make(chan struct{}),
 	}
+	// The persisted trace context makes the re-execution a child of
+	// the original trace: the new serve/job root parents under the
+	// crashed run's root span, so collectors stitch both attempts.
+	parent, _ := obs.ParseTraceparent(dj.Trace)
 	var req SynthesizeRequest
 	decodeErr := json.Unmarshal(dj.Spec, &req)
 	if decodeErr == nil {
@@ -331,12 +344,18 @@ func (s *Server) requeue(dj *durable.Job) *Job {
 			j.req = req
 			j.cg = cg
 			j.lib = lib
+			s.initJobTrace(j, parent, "restored", 0)
 			return j
 		}
 		decodeErr = err
 	}
 	j.state = StateFailed
 	j.errMsg = "restart could not rebuild the job: " + decodeErr.Error()
+	if parent.Valid() {
+		j.sc = parent
+		j.traceID = parent.TraceID.String()
+		j.events.SetTrace(j.traceID, parent.SpanID.String())
+	}
 	j.events.Publish(obs.Event{Type: obs.EventRunStart})
 	j.events.Publish(obs.Event{Type: obs.EventRunError, Err: j.errMsg})
 	j.events.Close()

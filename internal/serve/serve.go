@@ -17,6 +17,10 @@
 //	GET  /v1/jobs              list jobs, oldest first
 //	GET  /v1/jobs/{id}         job state + result
 //	GET  /v1/jobs/{id}/events  SSE: replayed history, then live tail
+//	GET  /v1/jobs/{id}/trace   the job's span forest (deterministic
+//	                           JSON, or ?format=chrome for Perfetto)
+//	GET  /v1/traces/{traceID}  all local spans of a distributed trace
+//	                           from the bounded drop-oldest ring
 //	GET  /v1/fleet             replica membership, load and forwarding
 //	GET  /metrics              Prometheus text format 0.0.4
 //	GET  /healthz              liveness + version
@@ -96,6 +100,14 @@ type Config struct {
 	// owner, and GET /v1/fleet reports membership and forwarding
 	// counters. Nil means standalone.
 	Fleet *fleet.Router
+	// TraceIDs supplies trace/span identifiers for the per-job
+	// tracers; nil means a randomly-seeded source. Tests inject a
+	// fixed-seed source for deterministic IDs.
+	TraceIDs *obs.IDSource
+	// TraceRing bounds how many distinct traces are retained for
+	// GET /v1/traces/{traceID} (drop-oldest). <=0 means
+	// DefaultTraceRing.
+	TraceRing int
 	// Now is the server's clock (job timestamps, durations); nil
 	// means time.Now. Tests inject a frozen clock for deterministic
 	// job lifetimes.
@@ -119,6 +131,11 @@ type Server struct {
 
 	// store persists the job table; nil without Config.DataDir.
 	store *durable.Store
+
+	// ids hands out trace/span identifiers; traces retains finished
+	// span forests for GET /v1/traces/{traceID}.
+	ids    *obs.IDSource
+	traces *traceRing
 
 	// runCtx parents every job; Drain cancels it so in-flight
 	// synthesis degrades to its incumbent and returns promptly.
@@ -181,6 +198,11 @@ func New(cfg Config) (*Server, error) {
 		jobs:      make(map[string]*Job),
 		batches:   make(map[string]*batch),
 		fleet:     cfg.Fleet,
+		ids:       cfg.TraceIDs,
+		traces:    newTraceRing(cfg.TraceRing),
+	}
+	if s.ids == nil {
+		s.ids = obs.NewIDSource(0)
 	}
 	if s.fleet != nil {
 		s.fleetClient = &http.Client{Timeout: fleetHTTPTimeout}
@@ -196,6 +218,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reg.Counter("fleet/forwarded")
 	s.reg.Counter("fleet/forward_failed")
+	for _, name := range []string{
+		"spans_started", "spans_dropped", "ring_evictions",
+		"roots_propagated", "roots_new",
+	} {
+		s.reg.Counter("trace/" + name)
+	}
 	s.routes()
 	if cfg.DataDir != "" {
 		opts := cfg.Durable
@@ -234,6 +262,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/traces/{traceID}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -322,11 +352,18 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		s.reg.Counter("serve/http_requests").Add(1)
-		s.log.Info("request",
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
 			"duration_ms", time.Since(start).Milliseconds(),
-		)
+		}
+		if ua := r.Header.Get("User-Agent"); ua != "" {
+			attrs = append(attrs, "user_agent", ua)
+		}
+		if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			attrs = append(attrs, "trace_id", sc.TraceID.String())
+		}
+		s.log.Info("request", attrs...)
 	})
 }

@@ -8,7 +8,10 @@
 #     jq-assert the generator's JSON reports — zero hard errors, work
 #     completed on all 3 replicas, p99 under a generous bound, shed
 #     observed under overload but not runaway, and at least one peer
-#     forward visible on the /v1/fleet endpoints.
+#     forward visible on the /v1/fleet endpoints. A tracing leg then
+#     forwards a probe carrying a caller-minted traceparent and
+#     asserts its trace is readable from >= 2 replicas (forward hop on
+#     the forwarder, serve/job on the owner).
 #
 #   quick: one replica, one short burst — the `make load` demo.
 #
@@ -134,6 +137,83 @@ for port in $P1 $P2 $P3; do
 done
 [ "$fwd" -gt 0 ] || fail "no replica ever forwarded a submission (total forwarded = $fwd)"
 
+# ---- Distributed-tracing leg: push replica 1 past its degrade
+# watermark, then submit traced probes until one is forwarded to its
+# rendezvous owner. The propagated trace ID must then be readable from
+# at least two replicas — the forwarder holds the serve/forward hop,
+# the owner holds the serve/job execution — which is exactly what
+# client-side stitching (`cdcs -server ... -trace`) glues together.
+wait_drained() {
+    for _ in $(seq 1 200); do
+        busy=0
+        for port in $P1 $P2 $P3; do
+            l=$(curl -fsS "http://127.0.0.1:$port/v1/fleet" | jq '.load')
+            [ "$l" -gt 0 ] && busy=1
+        done
+        [ "$busy" = 0 ] && return 0
+        sleep 0.1
+    done
+    fail "fleet did not drain after the overload phase"
+}
+wait_drained
+
+# Six slow fillers lift replica 1 exactly to the degrade watermark
+# (load >= 6) without nearing shed (12), so probes forward, not drop.
+# The fillers themselves are all admitted below the watermark, so none
+# of them leaves the replica.
+for i in $(seq 1 6); do
+    curl -fsS -X POST "http://127.0.0.1:$P1/v1/synthesize" \
+        -d '{"example":"mpeg4","workload":"filler","options":{"workers":1}}' >/dev/null \
+        || fail "filler submit $i failed"
+done
+
+# Probe with distinct workloads until rendezvous routing picks another
+# replica as owner; each probe carries a caller-minted traceparent so
+# the whole hop chain joins a trace ID we know in advance.
+fid=""
+fowner=""
+ftid=""
+for i in $(seq 1 6); do
+    tid=$(printf 'c0ffee%026d' "$i")
+    probe=$(curl -fsS -X POST "http://127.0.0.1:$P1/v1/synthesize" \
+        -H "traceparent: 00-$tid-00f067aa0ba902b7-01" \
+        -d "{\"example\":\"wan\",\"workload\":\"probe-$i\",\"options\":{\"workers\":1}}") \
+        || fail "probe $i submit failed"
+    server=$(printf '%s' "$probe" | jq -r '.server // empty')
+    if [ -n "$server" ] && [ "$server" != "http://127.0.0.1:$P1" ]; then
+        fid=$(printf '%s' "$probe" | jq -r '.id')
+        fowner=$server
+        ftid=$tid
+        break
+    fi
+done
+[ -n "$fid" ] || fail "no probe was forwarded off replica 1 (6 workloads tried)"
+[ "$(printf '%s' "$probe" | jq -r '.traceId')" = "$ftid" ] \
+    || fail "forwarded probe lost the propagated trace ID: $probe"
+
+state=""
+for _ in $(seq 1 100); do
+    state=$(curl -fsS "$fowner/v1/jobs/$fid" | jq -r '.state')
+    [ "$state" = done ] && break
+    [ "$state" = failed ] && fail "forwarded probe failed: $(curl -fsS "$fowner/v1/jobs/$fid")"
+    sleep 0.1
+done
+[ "$state" = done ] || fail "forwarded probe did not finish (state: $state)"
+
+holders=0
+for port in $P1 $P2 $P3; do
+    if curl -fsS "http://127.0.0.1:$port/v1/traces/$ftid" >/dev/null 2>&1; then
+        holders=$((holders + 1))
+    fi
+done
+[ "$holders" -ge 2 ] || fail "forwarded trace $ftid held by $holders replicas, want >= 2"
+curl -fsS "http://127.0.0.1:$P1/v1/traces/$ftid" \
+    | jq -e '[.. | objects | .name? // empty] | any(. == "serve/forward")' >/dev/null \
+    || fail "forwarder's partial trace has no serve/forward hop"
+curl -fsS "$fowner/v1/traces/$ftid" \
+    | jq -e '[.. | objects | .name? // empty] | any(. == "serve/job")' >/dev/null \
+    || fail "owner's partial trace has no serve/job span"
+
 # ---- Graceful drain: every replica exits cleanly on SIGTERM.
 for pid in $PIDS; do
     kill "$pid" 2>/dev/null || true
@@ -150,4 +230,5 @@ trap - EXIT INT TERM
 
 echo "fleet-smoke: OK (steady: $(jq -r '.completed' "$STEADY") completed;" \
     "overload: $(jq -r '.completed' "$OVER") completed," \
-    "$(jq -r '.shed' "$OVER") shed, $fwd forwarded)"
+    "$(jq -r '.shed' "$OVER") shed, $fwd forwarded;" \
+    "trace $ftid stitched across $holders replicas)"

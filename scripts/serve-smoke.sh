@@ -10,9 +10,12 @@
 # interrupted job marked "restarted". Batch legs ride along in both:
 # a 3-graph POST /v1/batch must yield 3 results, and a batch caught
 # by the kill -9 must come back with its finished members' results
-# intact and only the interrupted member re-run.
-# Used by `make serve-smoke` and CI's serve-smoke job. Requires curl;
-# uses no other tooling beyond the Go toolchain and POSIX sh.
+# intact and only the interrupted member re-run. A trace leg asserts
+# the finished job's span forest on GET /v1/jobs/{id}/trace: rooted at
+# serve/job with the admission, queue-wait, and synth phase spans
+# nested below, plus a Chrome-format rendering of the same tree.
+# Used by `make serve-smoke` and CI's serve-smoke job. Requires curl
+# and jq; uses no other tooling beyond the Go toolchain and POSIX sh.
 set -eu
 
 PORT="${CDCSD_PORT:-18080}"
@@ -76,6 +79,22 @@ events=$(curl -fsS -N --max-time 10 "http://$ADDR/v1/jobs/$id/events")
 printf '%s' "$events" | grep -q '^event: run_start$' || fail "SSE stream has no run_start"
 printf '%s' "$events" | grep -q '^event: incumbent$' || fail "SSE stream has no incumbent event"
 printf '%s' "$events" | grep -q '^event: run_end$'   || fail "SSE stream has no run_end"
+
+# ---- Trace leg: the finished job's span forest is rooted at
+# serve/job and carries the serving-side and synthesis phase spans.
+trace=$(curl -fsS "http://$ADDR/v1/jobs/$id/trace")
+printf '%s' "$trace" | jq -e '.traceId | test("^[0-9a-f]{32}$")' >/dev/null \
+    || fail "trace has no 128-bit traceId: $trace"
+printf '%s' "$trace" | jq -e '.spans[0].name == "serve/job"' >/dev/null \
+    || fail "trace is not rooted at serve/job: $trace"
+for span in serve/admission serve/queue-wait synth/run p2p/plan merging/enumerate synth/solve; do
+    printf '%s' "$trace" \
+        | jq -e --arg n "$span" '[.. | objects | .name? // empty] | any(. == $n)' >/dev/null \
+        || fail "trace has no $span span: $trace"
+done
+curl -fsS "http://$ADDR/v1/jobs/$id/trace?format=chrome" \
+    | jq -e '[.[] | select(.ph == "X")] | length > 0' >/dev/null \
+    || fail "chrome-format trace has no complete events"
 
 # /metrics speaks Prometheus text format and carries the counters.
 metrics=$(curl -fsS "http://$ADDR/metrics")
@@ -236,4 +255,4 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 trap - EXIT INT TERM
 
-echo "serve-smoke: OK (job $id optimal, batch $bid complete, SSE incumbents seen, metrics scraped; crash recovery: $idA restored, $idB re-run, batch $cbid survived)"
+echo "serve-smoke: OK (job $id optimal, batch $bid complete, SSE incumbents seen, trace spans asserted, metrics scraped; crash recovery: $idA restored, $idB re-run, batch $cbid survived)"
